@@ -1,0 +1,24 @@
+"""Benchmark helpers: print paper-style tables next to the timings."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a block of experiment output past pytest's capture."""
+
+    def _print(title: str, lines: list[str]) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            for line in lines:
+                print(line)
+
+    return _print
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive experiment with a single timed round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,44 @@
+"""Ablation: HCOMP hash compression on vs off.
+
+DESIGN.md design choice: SCALO compresses hash streams (HCOMP) but never
+signal features.  This ablation removes the compression (ratio 1.0) and
+re-runs the Hash All-All scaling — the network-limited region beyond the
+~6-node peak loses roughly the compression factor, while the
+power-limited region is untouched.
+"""
+
+from conftest import run_once
+
+from repro.scheduler.ilp import max_throughput_mbps
+from repro.scheduler.model import hash_similarity_task
+
+NODE_COUNTS = (2, 6, 11, 16, 32)
+
+
+def _sweep(compression_ratio: float) -> dict[int, float]:
+    return {
+        n: max_throughput_mbps(
+            hash_similarity_task("all_all",
+                                 compression_ratio=compression_ratio),
+            n, 15.0,
+        )
+        for n in NODE_COUNTS
+    }
+
+
+def test_ablation_hash_compression(benchmark, report):
+    def run():
+        return _sweep(2.0), _sweep(1.0)
+
+    with_hcomp, without = run_once(benchmark, run)
+
+    lines = [f"{'nodes':>8s}" + "".join(f"{n:>9d}" for n in NODE_COUNTS)]
+    lines.append("   HCOMP" + "".join(f"{with_hcomp[n]:9.1f}" for n in NODE_COUNTS))
+    lines.append("    none" + "".join(f"{without[n]:9.1f}" for n in NODE_COUNTS))
+    lines.append("(Hash All-All Mbps at 15 mW)")
+    report("Ablation: hash compression on/off", lines)
+
+    # power-limited region: compression is irrelevant
+    assert with_hcomp[2] == without[2]
+    # network-limited region: compression buys ~the ratio
+    assert with_hcomp[16] > 1.5 * without[16]

@@ -1,0 +1,63 @@
+"""The §3.2 HCOMP claim: within ~10 % of LZ's ratio at ~7x less power.
+
+Compares the purpose-built hash codec against the general LZ PE on
+realistic hash streams (temporally-correlated windows hash to runs of
+equal values) in both compression ratio and PE power from Table 1.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.compression.hash_codec import hcomp_compress
+from repro.compression.lz import lz_compress
+from repro.hardware.catalog import get_pe
+
+
+def _hash_stream(n: int, seed: int, change_prob: float = 0.12) -> list[int]:
+    """The hash stream of a temporally-correlated electrode."""
+    rng = np.random.default_rng(seed)
+    stream = []
+    value = int(rng.integers(0, 16))
+    for _ in range(n):
+        if rng.random() < change_prob:
+            value = int(rng.integers(0, 16))
+        stream.append(value)
+    return stream
+
+
+def _pe_power_uw(name: str, n_electrodes: float = 96.0) -> float:
+    spec = get_pe(name)
+    return spec.static_uw + spec.dyn_uw_per_electrode * n_electrodes
+
+
+def test_ablation_hcomp_vs_lz(benchmark, report):
+    def run():
+        ratios = {"HCOMP": [], "LZ": []}
+        for seed in range(6):
+            stream = _hash_stream(2000, seed)
+            ratios["HCOMP"].append(len(stream) / len(hcomp_compress(stream)))
+            ratios["LZ"].append(len(stream) / len(lz_compress(bytes(stream))))
+        return (
+            float(np.mean(ratios["HCOMP"])),
+            float(np.mean(ratios["LZ"])),
+        )
+
+    hcomp_ratio, lz_ratio = run_once(benchmark, run)
+    hcomp_power = _pe_power_uw("HCOMP") + _pe_power_uw("HFREQ")
+    lz_power = _pe_power_uw("LZ")
+
+    lines = [
+        f"{'codec':>8s}{'ratio':>8s}{'PE power (uW @96 ch)':>22s}",
+        f"{'HCOMP':>8s}{hcomp_ratio:8.2f}{hcomp_power:22.1f}",
+        f"{'LZ':>8s}{lz_ratio:8.2f}{lz_power:22.1f}",
+        f"HCOMP/LZ ratio: {hcomp_ratio / lz_ratio:.2f}x at "
+        f"{lz_power / hcomp_power:.1f}x less power (paper: within ~10 % of "
+        "LZ4/LZMA at ~7x less power; our LZ77 baseline is weaker than "
+        "LZ4/LZMA, so the purpose-built codec overtakes it outright)",
+    ]
+    report("Ablation: HCOMP vs LZ on hash streams", lines)
+
+    # the paper's two-sided claim: competitive ratio, far cheaper PE
+    assert hcomp_ratio > 0.9 * lz_ratio
+    assert lz_power > 5 * hcomp_power

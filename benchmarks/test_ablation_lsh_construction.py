@@ -1,0 +1,50 @@
+"""Ablation: the LSH match rule (m-of-k construction).
+
+DESIGN.md design choice: SCALO's hash matches when 7 of 12 components
+agree — strict enough to prune unrelated signals, loose enough that the
+residual errors are false positives (cheap: the exact comparison
+resolves them).  This ablation sweeps the threshold m from OR (1-of-12)
+to AND (12-of-12) and reports similar/dissimilar match rates.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.eval.hash_accuracy import DISSIMILAR, SIMILAR, make_pairs
+from repro.hashing.lsh import LSHFamily
+
+M_VALUES = (1, 4, 7, 10, 12)
+
+
+def test_ablation_lsh_construction(benchmark, report):
+    def run():
+        pair_set = make_pairs(240, seed=0)
+        family = LSHFamily.for_measure("dtw")
+        agreements = []
+        for a, b in pair_set.pairs:
+            sig_a, sig_b = family.hash_window(a), family.hash_window(b)
+            agreements.append(sum(1 for x, y in zip(sig_a, sig_b) if x == y))
+        agreements = np.asarray(agreements)
+        rates = {}
+        for m in M_VALUES:
+            match = agreements >= m
+            rates[m] = (
+                float(match[pair_set.labels == SIMILAR].mean()),
+                float(match[pair_set.labels == DISSIMILAR].mean()),
+            )
+        return rates
+
+    rates = run_once(benchmark, run)
+
+    lines = [f"{'m-of-12':>8s}{'similar match':>15s}{'dissimilar match':>18s}"]
+    for m, (tpr, fpr) in rates.items():
+        lines.append(f"{m:>8d}{tpr:15.2f}{fpr:18.2f}")
+    lines.append("(default m=7: high TPR with residual errors biased FP)")
+    report("Ablation: LSH m-of-k match rule", lines)
+
+    # OR construction matches everything; AND misses most similars
+    assert rates[1][1] > 0.9
+    assert rates[12][0] < 0.5
+    # the chosen point keeps TPR high while pruning most dissimilars
+    tpr, fpr = rates[7]
+    assert tpr > 0.85 and fpr < 0.35

@@ -1,0 +1,45 @@
+"""Ablation: chunked vs interleaved NVM layout.
+
+DESIGN.md design choice: the SC reorganises the ADC's interleaved stream
+into per-electrode chunks, paying 5x on writes to win 10x on reads
+(paper §3.3).  This ablation runs the interactive-query cost model under
+both layouts: with interleaved storage the NVM scan stops hiding behind
+the radio and query throughput drops.
+"""
+
+from conftest import run_once
+
+from repro.apps.queries import QueryCostModel, QuerySpec
+from repro.storage.layout import read_cost_ms, write_cost_ms
+
+
+def test_ablation_storage_layout(benchmark, report):
+    def run():
+        chunked = QueryCostModel(n_nodes=11, chunked_layout=True)
+        interleaved = QueryCostModel(n_nodes=11, chunked_layout=False)
+        out = {}
+        for label, time_range in (("7MB", 110.0), ("63MB", 1000.0)):
+            spec = QuerySpec("q1", time_range, 0.05)
+            out[label] = (chunked.cost(spec), interleaved.cost(spec))
+        return out
+
+    results = run_once(benchmark, run)
+
+    lines = [f"{'query':>8s}{'chunked QPS':>13s}{'interleaved QPS':>17s}"
+             f"{'scan ms (c/i)':>16s}"]
+    for label, (chunked, interleaved) in results.items():
+        lines.append(
+            f"{label:>8s}{chunked.queries_per_second:13.2f}"
+            f"{interleaved.queries_per_second:17.2f}"
+            f"{chunked.scan_ms:8.1f}/{interleaved.scan_ms:.1f}"
+        )
+    lines.append(
+        f"per-window costs: read {read_cost_ms(120, 96, True):.3f} vs "
+        f"{read_cost_ms(120, 96, False):.3f} ms; write "
+        f"{write_cost_ms(120, False):.2f} vs {write_cost_ms(120, True):.2f} ms"
+    )
+    report("Ablation: chunked vs interleaved NVM layout", lines)
+
+    for chunked, interleaved in results.values():
+        assert interleaved.scan_ms > 9 * chunked.scan_ms
+        assert interleaved.queries_per_second < chunked.queries_per_second

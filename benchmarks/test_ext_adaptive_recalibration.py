@@ -1,0 +1,70 @@
+"""Extension study: online Kalman recalibration under tuning drift.
+
+The paper defers online KF parameter updates ("although SCALO supports
+it", §4) and motivates recalibration with neural signals that "evolve
+over time" (§2.3).  This bench quantifies the case: a session whose
+observation gains drift 60 %, decoded by the static filter vs the
+RLS-adaptive one.
+"""
+
+import numpy as np
+import copy
+
+import pytest
+from conftest import run_once
+
+from repro.decoders.adaptive import AdaptiveKalmanFilter
+from repro.decoders.kalman import KalmanFilter, fit_kalman
+
+DRIFT_LEVELS = (0.0, 0.3, 0.6, 1.0)
+
+
+def _session(drift: float, n_steps: int = 600, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    states = np.zeros((n_steps, 4))
+    for t in range(1, n_steps):
+        states[t, 2:] = 0.95 * states[t - 1, 2:] + 0.1 * rng.standard_normal(2)
+        states[t, :2] = states[t - 1, :2] + states[t - 1, 2:]
+    h0 = rng.normal(size=(8, 4))
+    obs = np.empty((n_steps, 8))
+    for t in range(n_steps):
+        gain = 1.0 + drift * t / n_steps
+        obs[t] = (h0 * gain) @ states[t] + 0.1 * rng.standard_normal(8)
+    return states, obs
+
+
+def _velocity_mse(drift: float) -> tuple[float, float]:
+    states, obs = _session(drift)
+    model = fit_kalman(states[:150], obs[:150])
+    static = KalmanFilter(copy.deepcopy(model))
+    adaptive = AdaptiveKalmanFilter(copy.deepcopy(model))
+    static_err = adaptive_err = 0.0
+    for t in range(150, states.shape[0]):
+        es = static.step(obs[t])
+        ea = adaptive.step_supervised(obs[t], states[t])
+        static_err += float(np.sum((es[2:] - states[t, 2:]) ** 2))
+        adaptive_err += float(np.sum((ea[2:] - states[t, 2:]) ** 2))
+    n = states.shape[0] - 150
+    return static_err / n, adaptive_err / n
+
+
+def test_ext_adaptive_recalibration(benchmark, report):
+    results = run_once(
+        benchmark, lambda: {d: _velocity_mse(d) for d in DRIFT_LEVELS}
+    )
+
+    lines = [f"{'drift':>8s}{'static MSE':>13s}{'adaptive MSE':>14s}"
+             f"{'gain':>8s}"]
+    for drift, (static, adaptive) in results.items():
+        gain = static / adaptive if adaptive else float("inf")
+        lines.append(f"{drift:>8.1f}{static:13.4f}{adaptive:14.4f}"
+                     f"{gain:8.1f}x")
+    lines.append("(velocity MSE after a 150-step calibration block)")
+    report("Extension: online Kalman recalibration vs drift", lines)
+
+    # no drift: both filters are comparable
+    static0, adaptive0 = results[0.0]
+    assert adaptive0 == pytest.approx(static0, rel=1.0)
+    # heavy drift: adaptation wins by a wide margin
+    static1, adaptive1 = results[1.0]
+    assert static1 > 5 * adaptive1

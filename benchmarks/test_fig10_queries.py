@@ -1,0 +1,48 @@
+"""Fig. 10: interactive query throughput with 11 nodes.
+
+Paper reference: ~9 QPS for Q1/Q2 over the last 110 ms (~7 MB) at 5 %
+match; Q3 over 7 MB takes ~1.21 s (0.8 QPS); 1 QPS holds even over the
+last 1 s (~60 MB) at 5 % match; DTW-based Q2 costs ~15 mW vs ~3.6 mW
+hashed for roughly one fewer QPS.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.queries import (
+    MATCH_FRACTIONS,
+    TIME_RANGES_MS,
+    data_sizes_mb,
+    fig10,
+    q2_hash_vs_dtw,
+)
+
+
+def test_fig10_queries(benchmark, report):
+    grid = run_once(benchmark, fig10)
+    sizes = data_sizes_mb()
+
+    lines = []
+    header = f"{'range':>12s}" + "".join(f"{f:>9.0%}" for f in MATCH_FRACTIONS)
+    for query in ("Q1", "Q2"):
+        lines.append(f"-- {query} (QPS)")
+        lines.append(header + "   <- match fraction")
+        for t in TIME_RANGES_MS:
+            row = "".join(f"{grid[query][(t, f)]:9.2f}" for f in MATCH_FRACTIONS)
+            lines.append(f"{sizes[t]:>9.0f} MB" + row)
+    lines.append("-- Q3 (full range)")
+    for t in TIME_RANGES_MS:
+        lines.append(f"{sizes[t]:>9.0f} MB{grid['Q3'][(t, 1.0)]:9.2f}")
+    tradeoff = q2_hash_vs_dtw()
+    lines.append(
+        f"Q2 hash: {tradeoff['hash']['qps']:.1f} QPS at "
+        f"{tradeoff['hash']['power_mw']:.2f} mW | Q2 DTW: "
+        f"{tradeoff['dtw']['qps']:.1f} QPS at "
+        f"{tradeoff['dtw']['power_mw']:.2f} mW"
+    )
+    report("Fig. 10: interactive query throughput (11 nodes)", lines)
+
+    assert grid["Q1"][(110.0, 0.05)] == pytest.approx(9.0, abs=2.0)
+    assert grid["Q3"][(110.0, 1.0)] == pytest.approx(0.8, abs=0.15)
+    assert grid["Q1"][(1000.0, 0.05)] >= 0.8  # ~1 QPS over 60 MB
+    assert tradeoff["dtw"]["power_mw"] > 3 * tradeoff["hash"]["power_mw"]

@@ -1,0 +1,38 @@
+"""Fig. 13: application throughput under the four Table 3 radios.
+
+Paper reference: High Perf doubles the communication-sensitive apps but
+burns 4x the radio power (half the 15 mW budget); Low BER matches the
+default at 2x power; Low Data Rate halves performance.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.radio_dse import RADIO_ORDER, fig13, radio_throughputs
+
+
+def test_fig13_radio_dse(benchmark, report):
+    normalised = run_once(benchmark, fig13, n_nodes=11)
+    absolute = radio_throughputs(n_nodes=11)
+
+    lines = [f"{'radio':>14s}{'Hash All-All':>14s}{'DTW One-All':>13s}"
+             "   (normalised to Low Power)"]
+    for radio in RADIO_ORDER:
+        row = normalised[radio]
+        lines.append(
+            f"{radio:>14s}{row['Hash All-All']:14.2f}"
+            f"{row['DTW One-All']:13.2f}"
+        )
+    lines.append(
+        "absolute Low Power: "
+        + ", ".join(f"{k}={v:.0f} Mbps" for k, v in absolute["Low Power"].items())
+    )
+    report("Fig. 13: radio design-space exploration", lines)
+
+    assert normalised["Low Power"]["DTW One-All"] == pytest.approx(1.0)
+    assert normalised["High Perf"]["DTW One-All"] == pytest.approx(2.0, rel=0.1)
+    assert normalised["Low Data Rate"]["DTW One-All"] == pytest.approx(
+        0.5, rel=0.15
+    )
+    # Low BER buys nothing at 2x radio power (BER is already fine)
+    assert normalised["Low BER"]["DTW One-All"] == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,33 @@
+"""Fig. 15a: seizure-propagation delay vs hash encoding error rate.
+
+Paper reference: because a seizure is captured by many electrodes at
+once, hash encoding errors cause no noticeable delay until the error
+rate approaches ~50 %; beyond that the delay grows but stays bounded
+(another correlation round follows at the next window).
+"""
+
+from conftest import run_once
+
+from repro.eval.delay import ENCODING_ERROR_RATES, build_trace, encoding_delay
+
+
+def test_fig15a_encoding_errors(benchmark, report):
+    trace = build_trace(seed=0)
+    results = run_once(
+        benchmark,
+        lambda: {
+            rate: encoding_delay(trace, rate, n_reps=1000, seed=1)
+            for rate in ENCODING_ERROR_RATES
+        },
+    )
+
+    lines = [f"{'error rate':>12s}{'mean (ms)':>12s}{'max (ms)':>12s}"]
+    for rate in ENCODING_ERROR_RATES:
+        stats = results[rate]
+        lines.append(f"{rate:>12.1f}{stats.mean_ms:12.2f}{stats.max_ms:12.2f}")
+    report("Fig. 15a: delay vs hash encoding errors (1000 reps)", lines)
+
+    assert results[0.0].max_ms == 0.0
+    assert results[0.4].mean_ms < 1.0  # no noticeable impact below ~50 %
+    assert results[1.0].mean_ms > results[0.4].mean_ms
+    assert results[1.0].max_ms <= 10.0  # bounded by the response deadline

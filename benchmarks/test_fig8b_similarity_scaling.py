@@ -1,0 +1,39 @@
+"""Fig. 8b: signal-similarity throughput vs node count x power limit.
+
+Paper reference points: Hash All-All peaks near 6 nodes (547 Mbps at
+15 mW, 135 at 6 mW); Hash One-All scales linearly (6851 Mbps at 64
+nodes); DTW All-All is stuck at the radio rate (~16 electrode signals)
+and decreases with node count; DTW One-All scales with fixed cost.
+"""
+
+from conftest import run_once
+
+from repro.eval.throughput import NODE_COUNTS, POWER_LIMITS_MW, fig8b
+
+
+def test_fig8b_similarity_scaling(benchmark, report):
+    surfaces = run_once(benchmark, fig8b)
+
+    lines = []
+    for method, surface in surfaces.items():
+        lines.append(f"-- {method} (Mbps)")
+        header = f"{'power':>8s}" + "".join(f"{n:>9d}" for n in NODE_COUNTS)
+        lines.append(header + "   <- nodes")
+        for power in POWER_LIMITS_MW:
+            row = surface[power]
+            lines.append(
+                f"{power:>6.0f}mW"
+                + "".join(f"{row[n]:9.1f}" for n in NODE_COUNTS)
+            )
+    report("Fig. 8b: signal-similarity scaling", lines)
+
+    hash_all = surfaces["Hash All-All"][15.0]
+    peak_nodes = max(hash_all, key=hash_all.get)
+    assert 4 <= peak_nodes <= 8  # paper: 6
+
+    hash_one = surfaces["Hash One-All"][15.0]
+    assert hash_one[64] > 8 * hash_one[8] * 0.95  # linear scaling
+
+    dtw_all = surfaces["DTW All-All"][15.0]
+    assert dtw_all[64] < dtw_all[2]  # serial TDMA degradation
+    assert dtw_all[2] == surfaces["DTW All-All"][6.0][2]  # comm-limited

@@ -1,0 +1,41 @@
+"""Fig. 8c: movement-intent throughput vs node count x power limit.
+
+Paper reference points: MI-SVM is the highest curve (above even Hash
+One-All, 3 % more electrodes than hash generation); MI-NN shares the
+linear scaling at a lower level (1024 B per node); MI-KF scales only to
+4 nodes (384 electrodes) where the central node's NVM saturates, and is
+power-limited only below ~8.5 mW.
+"""
+
+from conftest import run_once
+
+from repro.eval.throughput import NODE_COUNTS, POWER_LIMITS_MW, fig8c
+
+
+def test_fig8c_movement_scaling(benchmark, report):
+    surfaces = run_once(benchmark, fig8c)
+
+    lines = []
+    for app, surface in surfaces.items():
+        lines.append(f"-- {app} (Mbps)")
+        lines.append(
+            f"{'power':>8s}" + "".join(f"{n:>9d}" for n in NODE_COUNTS)
+            + "   <- nodes"
+        )
+        for power in POWER_LIMITS_MW:
+            row = surface[power]
+            lines.append(
+                f"{power:>6.0f}mW"
+                + "".join(f"{row[n]:9.1f}" for n in NODE_COUNTS)
+            )
+    report("Fig. 8c: movement-intent scaling", lines)
+
+    at15 = {app: surfaces[app][15.0] for app in surfaces}
+    for n in NODE_COUNTS:
+        assert at15["MI SVM"][n] >= at15["MI NN"][n] >= at15["MI KF"][n] - 1e-9
+    # KF saturation at 384 electrodes / 4 nodes
+    assert at15["MI KF"][4] == at15["MI KF"][64]
+    assert at15["MI KF"][4] / 0.48 == __import__("pytest").approx(384, rel=0.05)
+    # KF flat in power down to ~9 mW, then falls
+    assert surfaces["MI KF"][12.0][8] == at15["MI KF"][8]
+    assert surfaces["MI KF"][6.0][8] < at15["MI KF"][8]

@@ -1,0 +1,37 @@
+"""Fig. 9a: priority-weighted seizure-propagation throughput.
+
+Paper reference: with equal task priorities, throughput grows linearly
+to ~506 Mbps at 11 nodes (96 electrodes per node fully processed), then
+sublinearly as hash-exchange communication costs bite; different weight
+triples (11:1:1, 3:1:1, 1:3:1) change both level and shape.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.application import FIG9_NODE_COUNTS, fig9a
+
+
+def test_fig9a_weighted_throughput(benchmark, report):
+    series = run_once(benchmark, fig9a)
+
+    lines = [
+        f"{'weights':>8s}" + "".join(f"{n:>9d}" for n in FIG9_NODE_COUNTS)
+        + "   <- nodes"
+    ]
+    for label, row in series.items():
+        lines.append(
+            f"{label:>8s}"
+            + "".join(f"{row[n]:9.1f}" for n in FIG9_NODE_COUNTS)
+        )
+    lines.append("(weighted Mbps; paper: 506 Mbps at 11 nodes, equal weights)")
+    report("Fig. 9a: weighted seizure-propagation throughput", lines)
+
+    for label, row in series.items():
+        # near-linear up to 11 nodes
+        assert row[8] == pytest.approx(4 * row[2], rel=0.15)
+        # sublinear beyond (communication costs)
+        assert row[64] < row[11] * (64 / 11)
+
+    # detection-priority weights dominate hash-priority at high node count
+    assert series["11:1:1"][64] > series["1:3:1"][64]

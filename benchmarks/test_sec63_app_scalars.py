@@ -1,0 +1,49 @@
+"""§6.3 scalars: the headline application-level numbers.
+
+Paper reference: 506 Mbps weighted seizure-propagation throughput at 11
+nodes; 12,250 spikes sorted per second per node at ~2.5 ms latency with
+accuracy within 5 % of exact matching; MI-KF at 20 intents/s over up to
+384 electrodes.
+"""
+
+from conftest import run_once
+
+from repro.apps.spike_sorting import SpikeSorter, sorting_accuracy
+from repro.datasets.spikes import generate_spikes
+from repro.eval.application import sec63_scalars
+
+
+def test_sec63_app_scalars(benchmark, report):
+    scalars = run_once(benchmark, sec63_scalars)
+
+    # sorting accuracy across the three dataset profiles, hash vs exact
+    accuracy_lines = []
+    for profile in ("spikeforest", "mearec", "kilosort"):
+        dataset = generate_spikes(profile, duration_s=3.0, seed=0)
+        sorter = SpikeSorter.from_dataset(dataset)
+        acc_hash = sorting_accuracy(dataset, sorter.sort(dataset.data, "hash"))
+        acc_exact = sorting_accuracy(dataset, sorter.sort(dataset.data, "exact"))
+        accuracy_lines.append(
+            f"  {profile:>12s}: hash {acc_hash:.2f} vs exact {acc_exact:.2f}"
+        )
+        assert acc_hash >= acc_exact - 0.05  # within 5 % of exact
+
+    lines = [
+        f"seizure propagation (11 nodes, equal weights): "
+        f"{scalars['seizure_weighted_mbps_11_nodes']:.0f} Mbps "
+        "(paper: 506)",
+        f"spike sorting rate: "
+        f"{scalars['spikes_per_second_per_node']:.0f} spikes/s/node "
+        "(paper: 12,250)",
+        f"spike sorting latency: "
+        f"{scalars['spike_sorting_latency_ms']:.2f} ms (paper: ~2.5)",
+        f"MI-KF: {scalars['mi_kf_intents_per_second']:.0f} intents/s over "
+        f"{scalars['mi_kf_max_electrodes']:.0f} electrodes (paper: 20 / 384)",
+        "sorting accuracy (paper: 82 / 91 / 73 %, hash within 5 %):",
+        *accuracy_lines,
+    ]
+    report("Sec 6.3: application-level scalars", lines)
+
+    assert 8000 <= scalars["spikes_per_second_per_node"] <= 16000
+    assert 2.0 <= scalars["spike_sorting_latency_ms"] <= 3.0
+    assert 250 <= scalars["seizure_weighted_mbps_11_nodes"] <= 700

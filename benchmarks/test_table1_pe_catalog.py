@@ -1,0 +1,21 @@
+"""Table 1: the PE catalog (latency and power of the PEs)."""
+
+from conftest import run_once
+
+from repro.eval.tables import table1_summary, table1_text
+
+
+def test_table1_pe_catalog(benchmark, report):
+    text = run_once(benchmark, table1_text)
+    summary = table1_summary()
+    report(
+        "Table 1: Latency and Power of the PEs",
+        text.splitlines()
+        + [
+            "",
+            f"{int(summary['n_pes'])} PEs, total area "
+            f"{summary['total_area_kge']:.0f} KGE, total static "
+            f"{summary['total_static_uw'] / 1e3:.2f} mW",
+        ],
+    )
+    assert summary["n_pes"] == 31

@@ -1,0 +1,12 @@
+"""Table 3: the alternative radio designs."""
+
+from conftest import run_once
+
+from repro.eval.tables import table3_text
+from repro.network.radio import RADIO_CATALOG
+
+
+def test_table3_radios(benchmark, report):
+    text = run_once(benchmark, table3_text)
+    report("Table 3: Alternative radio designs", text.splitlines())
+    assert len(RADIO_CATALOG) == 4

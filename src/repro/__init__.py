@@ -1,0 +1,105 @@
+"""SCALO: an accelerator-rich distributed BCI system — software reproduction.
+
+This package reproduces *SCALO: An Accelerator-Rich Distributed System for
+Scalable Brain-Computer Interfacing* (ISCA 2023) as a pure-Python system:
+every hardware component (PE fabric, NVM, radios, TDMA network) is a
+deterministic metered model built from the paper's published numbers, and
+every algorithm (LSH, DTW/EMD/XCOR similarity, compression, decoders,
+spike sorting, the ILP scheduler, the query language) is implemented for
+real and runs on synthetic neural data.
+
+Quickstart::
+
+    from repro import ScaloSystem, LSHFamily
+    system = ScaloSystem(n_nodes=4, electrodes_per_node=8)
+    print(system.thermal_check())
+
+Package map:
+
+* :mod:`repro.hardware` — PE catalog (Table 1), clock domains, fabric, MC.
+* :mod:`repro.signal` — filters, FFT/SBP/NEO/DWT feature kernels.
+* :mod:`repro.similarity` — DTW, Euclidean, cross-correlation, EMD.
+* :mod:`repro.hashing` — the configurable LSH family + collision checking.
+* :mod:`repro.compression` — HCOMP/DCOMP hash codec, LZ baseline.
+* :mod:`repro.network` — packets, CRC, BER channel, radios, TDMA.
+* :mod:`repro.storage` — NVM device, chunked layout, storage controller.
+* :mod:`repro.linalg` — MAD/ADD/SUB, Gauss-Jordan INV, block tiling.
+* :mod:`repro.decoders` — SVM / shallow NN / Kalman + decompositions.
+* :mod:`repro.apps` — seizure propagation, movement intent, spike
+  sorting, interactive queries.
+* :mod:`repro.scheduler` — task models, the ILP, analytical twin.
+* :mod:`repro.lang` — the Trill-like query language.
+* :mod:`repro.datasets` — synthetic iEEG and spike datasets.
+* :mod:`repro.core` — nodes, the distributed system, Table 2 designs,
+  thermal model, clock sync.
+* :mod:`repro.eval` — one experiment driver per paper table/figure.
+"""
+
+from repro.apps import (
+    MovementClassifierApp,
+    MovementKalmanApp,
+    MovementNNApp,
+    QueryCostModel,
+    QuerySpec,
+    SeizureDetector,
+    SeizurePropagationSimulator,
+    SpikeSorter,
+    generate_movement_session,
+)
+from repro.core import (
+    ScaloNode,
+    ScaloSystem,
+    architecture_throughput,
+    check_placement,
+    fig8a_table,
+    max_implants,
+)
+from repro.datasets import generate_ieeg, generate_spikes
+from repro.errors import ScaloError
+from repro.hardware import PE_CATALOG, Fabric, ProcessingElement, get_pe
+from repro.hashing import LSHConfig, LSHFamily
+from repro.lang import QueryRuntime, compile_text, parse_query
+from repro.scheduler import (
+    Flow,
+    SchedulerProblem,
+    max_throughput_mbps,
+)
+from repro.units import ELECTRODES_PER_NODE, NODE_POWER_CAP_MW
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MovementClassifierApp",
+    "MovementKalmanApp",
+    "MovementNNApp",
+    "QueryCostModel",
+    "QuerySpec",
+    "SeizureDetector",
+    "SeizurePropagationSimulator",
+    "SpikeSorter",
+    "generate_movement_session",
+    "ScaloNode",
+    "ScaloSystem",
+    "architecture_throughput",
+    "check_placement",
+    "fig8a_table",
+    "max_implants",
+    "generate_ieeg",
+    "generate_spikes",
+    "ScaloError",
+    "PE_CATALOG",
+    "Fabric",
+    "ProcessingElement",
+    "get_pe",
+    "LSHConfig",
+    "LSHFamily",
+    "QueryRuntime",
+    "compile_text",
+    "parse_query",
+    "Flow",
+    "SchedulerProblem",
+    "max_throughput_mbps",
+    "ELECTRODES_PER_NODE",
+    "NODE_POWER_CAP_MW",
+    "__version__",
+]

@@ -1,0 +1,213 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list                # what can be regenerated
+    python -m repro table1              # PE catalog
+    python -m repro fig8a               # architecture comparison
+    python -m repro fig15a --reps 500   # Monte-Carlo sweeps
+    python -m repro all                 # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+
+def _table1(args) -> None:
+    from repro.eval.tables import table1_text
+
+    print(table1_text())
+
+
+def _table3(args) -> None:
+    from repro.eval.tables import table3_text
+
+    print(table3_text())
+
+
+def _fig8a(args) -> None:
+    from repro.core.architectures import DESIGNS, TASKS
+    from repro.eval.throughput import fig8a
+
+    grid = fig8a(n_nodes=args.nodes, power_mw=args.power)
+    print(f"{'design':16s}" + "".join(f"{t:>20s}" for t in TASKS))
+    for design in DESIGNS:
+        print(f"{design:16s}"
+              + "".join(f"{grid[design][t]:20.1f}" for t in TASKS))
+
+
+def _fig8b(args) -> None:
+    from repro.eval.throughput import NODE_COUNTS, fig8b
+
+    surfaces = fig8b()
+    for method, surface in surfaces.items():
+        print(f"-- {method} (Mbps)")
+        for power, row in surface.items():
+            cells = "".join(f"{row[n]:9.1f}" for n in NODE_COUNTS)
+            print(f"{power:>6.0f}mW{cells}")
+
+
+def _fig8c(args) -> None:
+    from repro.eval.throughput import NODE_COUNTS, fig8c
+
+    for app, surface in fig8c().items():
+        print(f"-- {app} (Mbps)")
+        for power, row in surface.items():
+            cells = "".join(f"{row[n]:9.1f}" for n in NODE_COUNTS)
+            print(f"{power:>6.0f}mW{cells}")
+
+
+def _fig9a(args) -> None:
+    from repro.eval.application import FIG9_NODE_COUNTS, fig9a
+
+    for label, row in fig9a().items():
+        cells = "".join(f"{row[n]:9.1f}" for n in FIG9_NODE_COUNTS)
+        print(f"{label:>8s}{cells}")
+
+
+def _fig9b(args) -> None:
+    from repro.eval.application import FIG9_NODE_COUNTS, fig9b
+
+    for label, row in fig9b().items():
+        cells = "".join(f"{row[n]:9.1f}" for n in FIG9_NODE_COUNTS)
+        print(f"{label:>8s}{cells}")
+
+
+def _fig10(args) -> None:
+    from repro.eval.queries import fig10
+
+    for query, cells in fig10().items():
+        print(f"-- {query}")
+        for (time_range, fraction), qps in cells.items():
+            print(f"  {time_range:6.0f} ms @ {fraction:4.0%}: {qps:6.2f} QPS")
+
+
+def _fig11(args) -> None:
+    from repro.eval.hash_accuracy import fig11
+
+    for name, result in fig11(n_pairs=args.pairs).items():
+        print(f"{name:>10s}: total {result.total_error_pct:.1f}% "
+              f"fp_share {result.false_positive_share:.2f}")
+
+
+def _fig12(args) -> None:
+    from repro.eval.network_errors import fig12
+
+    for ber, r in fig12(n_packets=args.packets).items():
+        print(f"BER {ber:.0e}: hash {r.hash_packet_error_pct:.2f}% "
+              f"signal {r.signal_packet_error_pct:.2f}% "
+              f"dtw-fail {r.dtw_failure_pct:.2f}%")
+
+
+def _fig13(args) -> None:
+    from repro.eval.radio_dse import fig13
+
+    for radio, row in fig13(n_nodes=args.nodes).items():
+        cells = " ".join(f"{k}={v:.2f}" for k, v in row.items())
+        print(f"{radio:>14s}: {cells}")
+
+
+def _fig14(args) -> None:
+    from repro.eval.hash_params import fig14, shared_configs
+
+    results = fig14(n_pairs=args.pairs)
+    for name, r in results.items():
+        print(f"{name:>10s}: best={r.best} tpr={r.best_tpr:.2f} "
+              f"near-best={len(r.near_best)}")
+    print("shared:", shared_configs(results))
+
+
+def _fig15(args) -> None:
+    from repro.eval.delay import fig15
+
+    result = fig15(n_reps=args.reps)
+    print("encoding errors (rate: mean/max ms):")
+    for rate, stats in result.encoding.items():
+        print(f"  {rate:.1f}: {stats.mean_ms:.2f} / {stats.max_ms:.2f}")
+    print("network BER (ber: mean/max ms):")
+    for ber, stats in result.network.items():
+        print(f"  {ber:.0e}: {stats.mean_ms:.3f} / {stats.max_ms:.3f}")
+
+
+def _sec62(args) -> None:
+    from repro.eval.throughput import sec62_local_tasks
+
+    for task, curve in sec62_local_tasks().items():
+        cells = " ".join(f"{p:.0f}mW={v:.1f}" for p, v in curve.items())
+        print(f"{task}: {cells}")
+
+
+def _sec63(args) -> None:
+    from repro.eval.application import sec63_scalars
+
+    for key, value in sec63_scalars().items():
+        print(f"{key}: {value:.2f}")
+
+
+def _export(args) -> None:
+    from repro.eval.export import export_all
+
+    paths = export_all(args.out)
+    for path in paths:
+        print(path)
+
+
+_COMMANDS: dict[str, Callable] = {
+    "table1": _table1,
+    "table3": _table3,
+    "fig8a": _fig8a,
+    "fig8b": _fig8b,
+    "fig8c": _fig8c,
+    "fig9a": _fig9a,
+    "fig9b": _fig9b,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig15a": _fig15,
+    "fig15b": _fig15,
+    "sec62": _sec62,
+    "sec63": _sec63,
+    "export": _export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate SCALO's tables and figures.",
+    )
+    parser.add_argument("target", help="'list', 'all', or one of: "
+                        + ", ".join(sorted(set(_COMMANDS))))
+    parser.add_argument("--nodes", type=int, default=11)
+    parser.add_argument("--power", type=float, default=15.0)
+    parser.add_argument("--pairs", type=int, default=300)
+    parser.add_argument("--packets", type=int, default=400)
+    parser.add_argument("--reps", type=int, default=500)
+    parser.add_argument("--out", default="results",
+                        help="output directory for 'export'")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name in sorted(set(_COMMANDS)):
+            print(name)
+        return 0
+    if args.target == "all":
+        for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export"}):
+            print(f"\n===== {name} =====")
+            _COMMANDS[name](args)
+        return 0
+    command = _COMMANDS.get(args.target)
+    if command is None:
+        parser.error(f"unknown target {args.target!r} (try 'list')")
+    command(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

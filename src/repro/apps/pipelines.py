@@ -1,0 +1,212 @@
+"""The deployed PE pipelines of paper §4 (Figs. 5-7), wired on the fabric.
+
+"Deploying SCALO" maps each application onto concrete PE chains; this
+module builds those chains on a :class:`~repro.hardware.fabric.Fabric`,
+rolls up their latency/power, and checks them against the response-time
+targets — the hardware-level counterpart of the functional apps in
+:mod:`repro.apps`.
+
+Each builder returns a :class:`DeployedPipeline` with the per-stage
+chains (feature extraction, hashing, comparison, ...) so callers can
+inspect or re-tune individual stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeadlineExceeded
+from repro.hardware.fabric import Fabric
+from repro.hardware.pipeline import Pipeline
+from repro.units import (
+    MOVEMENT_RESPONSE_MS,
+    SEIZURE_RESPONSE_MS,
+    SPIKE_SORT_RESPONSE_MS,
+)
+
+#: Airtime allowances (ms) for the network hops inside the loops, at the
+#: 7 Mbps intra radio: one compressed hash packet / one signal window.
+HASH_HOP_MS = 0.15
+SIGNAL_HOP_MS = 0.35
+
+
+@dataclass
+class DeployedPipeline:
+    """A deployed application: named PE chains plus the response budget."""
+
+    name: str
+    fabric: Fabric
+    stages: dict[str, Pipeline]
+    network_ms: float
+    deadline_ms: float
+    #: stages that run concurrently with (not ahead of) the critical path
+    background_stages: tuple[str, ...] = ()
+
+    @property
+    def critical_path_ms(self) -> float:
+        """Latency of the serial stages plus the network hops."""
+        compute = sum(
+            pipeline.latency_ms
+            for name, pipeline in self.stages.items()
+            if name not in self.background_stages
+        )
+        return compute + self.network_ms
+
+    @property
+    def power_mw(self) -> float:
+        return self.fabric.power_mw
+
+    @property
+    def area_kge(self) -> float:
+        return self.fabric.area_kge
+
+    def check_deadline(self) -> None:
+        if self.critical_path_ms > self.deadline_ms:
+            raise DeadlineExceeded(
+                self.critical_path_ms, self.deadline_ms, self.name
+            )
+
+    def set_electrodes(self, n_electrodes: float) -> None:
+        for pipeline in self.stages.values():
+            pipeline.set_electrodes(n_electrodes)
+
+
+def seizure_propagation_pipeline(n_electrodes: float = 16.0
+                                 ) -> DeployedPipeline:
+    """Fig. 5: detection + hashing + comparison on one node.
+
+    Local detection (FFT/BBF/XCOR/SVM) and hash generation (every window
+    is hashed and stored as it arrives, §3.1) run continuously in the
+    background, so on a detection the hashes *already exist*.  The 10 ms
+    budget covers the distributed confirmation path: pack and broadcast
+    the flagged hashes, remote collision check, exchange the signal,
+    exact DTW, stimulate.
+    """
+    fabric = Fabric()
+    detection = fabric.wire_chain(
+        "detect", ["FFT", "BBF", "XCOR", "SVM"], n_electrodes=n_electrodes
+    )
+    hashing = fabric.wire_chain(
+        "hash", ["HCONV", "NGRAM", "HFREQ", "HCOMP"],
+        n_electrodes=n_electrodes,
+    )
+    transmit = fabric.wire_chain(
+        "transmit", ["NPACK"], n_electrodes=n_electrodes
+    )
+    checking = fabric.wire_chain(
+        "check", ["UNPACK", "DCOMP", "CCHECK", "CSEL"],
+        n_electrodes=n_electrodes,
+    )
+    comparison = fabric.wire_chain(
+        "compare", ["DTW", "GATE"], n_electrodes=n_electrodes
+    )
+    return DeployedPipeline(
+        name="seizure_propagation",
+        fabric=fabric,
+        stages={
+            "detect": detection,
+            "hash": hashing,
+            "transmit": transmit,
+            "check": checking,
+            "compare": comparison,
+        },
+        network_ms=HASH_HOP_MS + SIGNAL_HOP_MS,
+        deadline_ms=SEIZURE_RESPONSE_MS,
+        background_stages=("detect", "hash"),
+    )
+
+
+def movement_svm_pipeline(n_electrodes: float = 96.0) -> DeployedPipeline:
+    """Fig. 6a: SBP features, partial SVM, network, aggregation."""
+    fabric = Fabric()
+    features = fabric.wire_chain(
+        "features", ["SBP", "SVM", "NPACK"], n_electrodes=n_electrodes
+    )
+    aggregate = fabric.wire_chain(
+        "aggregate", ["UNPACK", "ADD", "THR"], n_electrodes=n_electrodes
+    )
+    return DeployedPipeline(
+        name="movement_svm",
+        fabric=fabric,
+        stages={"features": features, "aggregate": aggregate},
+        network_ms=HASH_HOP_MS,
+        deadline_ms=MOVEMENT_RESPONSE_MS,
+    )
+
+
+def movement_kalman_pipeline(n_electrodes: float = 96.0) -> DeployedPipeline:
+    """Fig. 6b: features to the central node, Kalman with NVM-backed INV.
+
+    The previous step's output feeds back through a buffer (GATE) and
+    the inversion streams via the SC — both on the critical path.
+    """
+    fabric = Fabric()
+    features = fabric.wire_chain(
+        "features", ["SBP", "NPACK"], n_electrodes=n_electrodes
+    )
+    kalman = fabric.wire_chain(
+        "kalman", ["UNPACK", "BMUL", "ADD", "SC", "INV", "SUB", "GATE"],
+        n_electrodes=n_electrodes,
+    )
+    return DeployedPipeline(
+        name="movement_kalman",
+        fabric=fabric,
+        stages={"features": features, "kalman": kalman},
+        network_ms=HASH_HOP_MS,
+        deadline_ms=MOVEMENT_RESPONSE_MS,
+    )
+
+
+def movement_nn_pipeline(n_electrodes: float = 96.0) -> DeployedPipeline:
+    """Fig. 6c: partial hidden layer per node, aggregation + output layer."""
+    fabric = Fabric()
+    partial = fabric.wire_chain(
+        "partial", ["SBP", "BMUL", "NPACK"], n_electrodes=n_electrodes
+    )
+    aggregate = fabric.wire_chain(
+        "aggregate", ["UNPACK", "ADD", "BMUL", "THR"],
+        n_electrodes=n_electrodes,
+    )
+    return DeployedPipeline(
+        name="movement_nn",
+        fabric=fabric,
+        stages={"partial": partial, "aggregate": aggregate},
+        network_ms=SIGNAL_HOP_MS,  # 1 KB partials
+        deadline_ms=MOVEMENT_RESPONSE_MS,
+    )
+
+
+def spike_sorting_pipeline(n_electrodes: float = 96.0) -> DeployedPipeline:
+    """Fig. 7: detect, EMD-hash, collision-check against stored templates.
+
+    Fully local (no network); NEO runs as the always-on front end while
+    the per-spike budget covers threshold -> hash -> match -> SC fetch.
+    """
+    fabric = Fabric()
+    frontend = fabric.wire_chain(
+        "frontend", ["NEO"], n_electrodes=n_electrodes
+    )
+    sorting = fabric.wire_chain(
+        "sort", ["THR", "HCONV", "EMDH", "CCHECK", "SC"],
+        n_electrodes=n_electrodes,
+    )
+    return DeployedPipeline(
+        name="spike_sorting",
+        fabric=fabric,
+        stages={"frontend": frontend, "sort": sorting},
+        network_ms=0.0,
+        deadline_ms=SPIKE_SORT_RESPONSE_MS,
+        background_stages=("frontend",),
+    )
+
+
+def all_pipelines() -> dict[str, DeployedPipeline]:
+    """Every deployed pipeline of §4."""
+    builders = (
+        seizure_propagation_pipeline,
+        movement_svm_pipeline,
+        movement_kalman_pipeline,
+        movement_nn_pipeline,
+        spike_sorting_pipeline,
+    )
+    return {p.name: p for p in (b() for b in builders)}

@@ -1,0 +1,236 @@
+"""Interactive human-in-the-loop queries (paper §6.4, Fig. 10).
+
+Three canonical queries over the last T milliseconds of data across all
+nodes:
+
+* **Q1** — return all signal windows flagged as seizure.
+* **Q2** — return all windows matching a given template (hash-filtered,
+  or exact DTW for comparison).
+* **Q3** — return all data in the time range.
+
+Two layers: :class:`QueryEngine` executes queries functionally against
+per-node storage controllers (used by tests and examples), and
+:class:`QueryCostModel` computes latency/power/QPS the way the paper's
+Fig. 10 does — reads scan each node's NVM in parallel, matched data is
+serialised over the shared 46 Mbps external radio (the bottleneck), and
+hash checks ride the CCHECK PE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import get_pe
+from repro.hashing.lsh import LSHFamily
+from repro.network.radio import EXTERNAL_RADIO, RadioSpec
+from repro.similarity.dtw import dtw_distance
+from repro.storage.controller import StorageController
+from repro.storage.nvm import NVMDevice
+from repro.units import (
+    ELECTRODE_RATE_BPS,
+    ELECTRODES_PER_NODE,
+    WINDOW_MS,
+)
+
+#: Fixed per-query overhead: parse on the MC, dispatch over the intra
+#: network, response coordination (ms).
+QUERY_OVERHEAD_MS = 40.0
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One interactive query."""
+
+    kind: str  # "q1" | "q2" | "q3"
+    time_range_ms: float
+    match_fraction: float = 1.0  # fraction of data satisfying the predicate
+    use_hash: bool = True  # Q2 only: hash filter vs exact DTW
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("q1", "q2", "q3"):
+            raise ConfigurationError("query kind must be q1, q2, or q3")
+        if self.time_range_ms <= 0:
+            raise ConfigurationError("time range must be positive")
+        if not 0 <= self.match_fraction <= 1:
+            raise ConfigurationError("match fraction must be in [0, 1]")
+
+
+def query_data_bytes(
+    time_range_ms: float,
+    n_nodes: int,
+    electrodes_per_node: int = ELECTRODES_PER_NODE,
+) -> float:
+    """Raw bytes covered by a query: rate x time x nodes.
+
+    110 ms over 11 nodes of 96 electrodes is the paper's ~7 MB case.
+    """
+    per_node_bps = electrodes_per_node * ELECTRODE_RATE_BPS
+    return per_node_bps * (time_range_ms / 1e3) * n_nodes / 8.0
+
+
+@dataclass
+class QueryCost:
+    """Latency breakdown and derived metrics for one query."""
+
+    scan_ms: float
+    filter_ms: float
+    transmit_ms: float
+    overhead_ms: float
+    power_mw: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.scan_ms + self.filter_ms + self.transmit_ms + self.overhead_ms
+
+    @property
+    def queries_per_second(self) -> float:
+        return 1e3 / self.latency_ms
+
+
+@dataclass
+class QueryCostModel:
+    """The Fig. 10 latency/power model.
+
+    ``chunked_layout`` selects the storage layout: the paper's
+    reorganised per-electrode chunks (default) or the raw interleaved ADC
+    order, whose strided retrieval is 10x slower (§3.3) — the ablation
+    knob for the layout design choice.
+    """
+
+    n_nodes: int = 11
+    electrodes_per_node: int = ELECTRODES_PER_NODE
+    external_radio: RadioSpec = field(default_factory=lambda: EXTERNAL_RADIO)
+    chunked_layout: bool = True
+
+    def cost(self, spec: QuerySpec) -> QueryCost:
+        total_bytes = query_data_bytes(
+            spec.time_range_ms, self.n_nodes, self.electrodes_per_node
+        )
+        per_node_bytes = total_bytes / self.n_nodes
+
+        # NVM scan: nodes read their share in parallel at device bandwidth;
+        # the interleaved layout pays the 10x strided-read penalty
+        scan_ms = 8 * per_node_bytes / (NVMDevice.read_bandwidth_mbps() * 1e3)
+        if not self.chunked_layout:
+            from repro.storage.layout import (
+                CHUNKED_READ_MS_PER_WINDOW,
+                INTERLEAVED_READ_MS_PER_WINDOW,
+            )
+
+            scan_ms *= (
+                INTERLEAVED_READ_MS_PER_WINDOW / CHUNKED_READ_MS_PER_WINDOW
+            )
+
+        # Filtering.
+        n_windows_per_node = (
+            spec.time_range_ms / WINDOW_MS
+        ) * self.electrodes_per_node
+        cc = get_pe("CCHECK")
+        dtw = get_pe("DTW")
+        if spec.kind == "q3":
+            filter_ms = 0.0
+            filter_power_mw = 0.0
+        elif spec.kind == "q1":
+            # flags are stored alongside windows; reading them rides the scan
+            filter_ms = 0.0
+            filter_power_mw = 0.0
+        else:  # q2
+            if spec.use_hash:
+                # CCHECK handles one window-batch (all electrodes) per pass
+                batches = spec.time_range_ms / WINDOW_MS
+                filter_ms = batches * (cc.latency_ms or 0.5) / 10.0
+                filter_power_mw = (
+                    cc.static_uw
+                    + cc.dyn_uw_per_electrode * self.electrodes_per_node
+                ) / 1e3 + 2.0  # + hash generation for the probe template
+            else:
+                # exact DTW of every stored window against the template
+                filter_ms = n_windows_per_node * (dtw.latency_ms or 0.003)
+                filter_power_mw = (
+                    dtw.static_uw
+                    + dtw.dyn_uw_per_electrode * self.electrodes_per_node
+                ) / 1e3 + 11.0  # run near f_max to keep the deadline
+
+        # Transmit the matched data over the shared external radio.
+        matched_bytes = total_bytes * (
+            spec.match_fraction if spec.kind != "q3" else 1.0
+        )
+        transmit_ms = self.external_radio.airtime_ms(8 * matched_bytes)
+
+        duty = transmit_ms / max(transmit_ms + scan_ms + QUERY_OVERHEAD_MS, 1e-9)
+        power_mw = (
+            self.external_radio.power_mw * duty / self.n_nodes  # per node share
+            + filter_power_mw
+            + 0.26  # NVM leakage
+        )
+        return QueryCost(scan_ms, filter_ms, transmit_ms, QUERY_OVERHEAD_MS,
+                         power_mw)
+
+
+@dataclass
+class QueryResultRow:
+    """One matched window in a functional query result."""
+
+    node: int
+    electrode: int
+    window_index: int
+    samples: np.ndarray
+
+
+@dataclass
+class QueryEngine:
+    """Functional query execution against per-node storage controllers.
+
+    ``seizure_flags[node]`` marks windows flagged by the local detector
+    (what Q1 filters on); Q2 matches stored windows against a template via
+    the node's LSH (or exact DTW).
+    """
+
+    controllers: list[StorageController]
+    lsh: LSHFamily
+    seizure_flags: dict[int, set[int]] = field(default_factory=dict)
+    dtw_threshold: float = 60.0
+    dtw_band: int = 10
+
+    def _stored_windows(self, node: int) -> list[tuple[int, int]]:
+        return sorted(self.controllers[node]._windows)
+
+    def execute(
+        self,
+        spec: QuerySpec,
+        window_range: tuple[int, int],
+        template: np.ndarray | None = None,
+    ) -> list[QueryResultRow]:
+        """Run a query over window indexes ``[start, stop)`` on all nodes."""
+        start, stop = window_range
+        if spec.kind == "q2" and template is None:
+            raise ConfigurationError("q2 needs a template window")
+        template_sig = (
+            self.lsh.hash_window(template) if spec.kind == "q2" and spec.use_hash
+            else None
+        )
+        rows: list[QueryResultRow] = []
+        for node, controller in enumerate(self.controllers):
+            flags = self.seizure_flags.get(node, set())
+            for electrode, window_index in self._stored_windows(node):
+                if not start <= window_index < stop:
+                    continue
+                if spec.kind == "q1" and window_index not in flags:
+                    continue
+                samples = controller.read_window(electrode, window_index)
+                if spec.kind == "q2":
+                    if spec.use_hash:
+                        sig = self.lsh.hash_window(samples.astype(float))
+                        if not self.lsh.matches(sig, template_sig):
+                            continue
+                    else:
+                        cost = dtw_distance(
+                            samples.astype(float), template, self.dtw_band
+                        )
+                        if cost > self.dtw_threshold:
+                            continue
+                rows.append(QueryResultRow(node, electrode, window_index, samples))
+        return rows

@@ -1,0 +1,186 @@
+"""Online spike-template learning (OSort-style clustering).
+
+The paper's spike templates "may be obtained offline from prior
+recordings or generated online with clustering [Rutishauser et al.]"
+(§2.2).  :class:`OnlineTemplateLearner` is that online path: each
+detected spike either joins the nearest running cluster (whose template
+is the running mean of its members) or seeds a new one; clusters whose
+templates drift together get merged.  The learned templates then feed
+the same :class:`~repro.apps.spike_sorting.TemplateMatcher` the offline
+path uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.spike_sorting import detect_spikes
+from repro.datasets.spikes import SPIKE_SAMPLES
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Cluster:
+    """One running cluster: mean waveform and member count."""
+
+    template: np.ndarray  # (n_channels, SPIKE_SAMPLES)
+    count: int = 1
+
+    def absorb(self, snippet: np.ndarray) -> None:
+        self.count += 1
+        self.template += (snippet - self.template) / self.count
+
+
+def _distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Peak-normalised RMS distance between multichannel waveforms."""
+    peak = max(float(np.max(np.abs(a))), float(np.max(np.abs(b))), 1e-12)
+    return float(np.sqrt(np.mean((a - b) ** 2))) / peak
+
+
+#: Sample the trough is aligned to within a snippet.
+TROUGH_INDEX = 20
+
+
+def align_to_trough(snippet: np.ndarray, target: int = TROUGH_INDEX
+                    ) -> np.ndarray:
+    """Circularly shift a snippet so its dominant trough sits at ``target``.
+
+    Detection timing jitters by a few samples; without alignment the
+    running cluster means smear and distinct neurons blur together.
+    """
+    snippet = np.asarray(snippet, dtype=float)
+    channel = int(np.argmax(np.max(np.abs(snippet), axis=1)))
+    trough = int(np.argmin(snippet[channel]))
+    return np.roll(snippet, target - trough, axis=1)
+
+
+@dataclass
+class OnlineTemplateLearner:
+    """Streaming cluster formation over detected spikes.
+
+    Args:
+        join_threshold: normalised distance under which a spike joins an
+            existing cluster (else it seeds a new one).
+        merge_threshold: clusters whose templates fall this close get
+            merged (drift correction).
+        min_count: clusters below this size are discarded as noise when
+            :meth:`templates` is read out.
+        max_clusters: safety bound on cluster count.
+    """
+
+    join_threshold: float = 0.08
+    merge_threshold: float = 0.05
+    min_count: int = 3
+    max_clusters: int = 128
+    #: align spikes to their trough before clustering (strongly
+    #: recommended: detection jitter otherwise smears the templates)
+    align: bool = True
+    clusters: list[Cluster] = field(default_factory=list)
+    n_spikes_seen: int = 0
+
+    def observe(self, snippet: np.ndarray) -> int:
+        """Feed one spike snippet; returns the cluster index it joined."""
+        snippet = np.asarray(snippet, dtype=float)
+        if snippet.ndim != 2 or snippet.shape[1] != SPIKE_SAMPLES:
+            raise ConfigurationError(
+                f"snippet must be (channels, {SPIKE_SAMPLES})"
+            )
+        if self.align:
+            snippet = align_to_trough(snippet)
+        self.n_spikes_seen += 1
+        if self.clusters:
+            distances = [
+                _distance(snippet, c.template) for c in self.clusters
+            ]
+            best = int(np.argmin(distances))
+            if distances[best] <= self.join_threshold:
+                self.clusters[best].absorb(snippet)
+                self._maybe_merge(best)
+                return best
+        if len(self.clusters) >= self.max_clusters:
+            # out of room: absorb into the nearest anyway
+            distances = [
+                _distance(snippet, c.template) for c in self.clusters
+            ]
+            best = int(np.argmin(distances))
+            self.clusters[best].absorb(snippet)
+            return best
+        self.clusters.append(Cluster(template=snippet.copy()))
+        return len(self.clusters) - 1
+
+    def _maybe_merge(self, index: int) -> None:
+        """Merge cluster ``index`` into a neighbour it drifted onto."""
+        target = self.clusters[index]
+        for other_index, other in enumerate(self.clusters):
+            if other_index == index:
+                continue
+            if _distance(target.template, other.template) <= self.merge_threshold:
+                total = target.count + other.count
+                other.template = (
+                    other.template * other.count
+                    + target.template * target.count
+                ) / total
+                other.count = total
+                del self.clusters[index]
+                return
+
+    def templates(self) -> np.ndarray:
+        """The learned templates, noise clusters dropped, biggest first."""
+        kept = [c for c in self.clusters if c.count >= self.min_count]
+        kept.sort(key=lambda c: -c.count)
+        if not kept:
+            raise ConfigurationError("no clusters above the noise floor")
+        return np.stack([c.template for c in kept])
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+
+def learn_templates_from_recording(
+    data: np.ndarray,
+    learner: OnlineTemplateLearner | None = None,
+    k_sigma: float = 10.0,
+) -> tuple[np.ndarray, OnlineTemplateLearner]:
+    """Detect spikes in ``data`` and cluster them online.
+
+    Returns:
+        (templates, the learner) — the templates array plugs straight
+        into :class:`~repro.apps.spike_sorting.TemplateMatcher`.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ConfigurationError("expected (channels, samples)")
+    learner = learner if learner is not None else OnlineTemplateLearner()
+    times = detect_spikes(data, k_sigma)
+    times = times[times + SPIKE_SAMPLES <= data.shape[1]]
+    for t in times:
+        learner.observe(data[:, t : t + SPIKE_SAMPLES])
+    return learner.templates(), learner
+
+
+def match_templates_to_truth(
+    learned: np.ndarray, truth: np.ndarray
+) -> dict[int, int]:
+    """Greedy assignment of learned templates to ground-truth neurons.
+
+    Returns a mapping learned-index -> truth-index by nearest distance;
+    used to score online learning against the generator's templates.
+    """
+    learned = np.asarray(learned, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    pairs = []
+    for i, template in enumerate(learned):
+        for j, reference in enumerate(truth):
+            pairs.append((_distance(template, reference), i, j))
+    pairs.sort()
+    mapping: dict[int, int] = {}
+    used = set()
+    for _, i, j in pairs:
+        if i in mapping or j in used:
+            continue
+        mapping[i] = j
+        used.add(j)
+    return mapping

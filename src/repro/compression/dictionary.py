@@ -1,0 +1,50 @@
+"""Frequency-sorted dictionary coding (the HFREQ PE's output ordering).
+
+HFREQ collects hash values and sorts them by frequency of occurrence so
+that dictionary coding assigns the shortest indexes to the most frequent
+hashes (paper §3.2, "Networking Support").  Because neighbouring brain
+signals are correlated, hash streams are highly skewed and the frequent
+few dominate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import ConfigurationError
+
+
+def frequency_dictionary(symbols: list[int]) -> list[int]:
+    """Symbols ordered by descending frequency (ties by value, stable).
+
+    This is the dictionary HFREQ emits: index 0 is the most frequent hash.
+    """
+    counts = Counter(symbols)
+    return [symbol for symbol, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))]
+
+
+def dictionary_encode(
+    symbols: list[int], dictionary: list[int] | None = None
+) -> tuple[list[int], list[int]]:
+    """Map symbols to dictionary indexes.
+
+    Returns:
+        (indexes, dictionary).  If no dictionary is supplied, the
+        frequency-sorted one is built from the input.
+    """
+    if dictionary is None:
+        dictionary = frequency_dictionary(symbols)
+    lookup = {symbol: idx for idx, symbol in enumerate(dictionary)}
+    try:
+        indexes = [lookup[symbol] for symbol in symbols]
+    except KeyError as missing:
+        raise ConfigurationError(f"symbol {missing} not in dictionary") from None
+    return indexes, dictionary
+
+
+def dictionary_decode(indexes: list[int], dictionary: list[int]) -> list[int]:
+    """Inverse of :func:`dictionary_encode`."""
+    try:
+        return [dictionary[idx] for idx in indexes]
+    except IndexError:
+        raise ConfigurationError("index outside the dictionary") from None

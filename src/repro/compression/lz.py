@@ -1,0 +1,106 @@
+"""A compact LZ77 codec — the software twin of HALO's LZ PE.
+
+HALO's LZ/LZMA PEs were built for bulk offload to external servers; SCALO
+keeps them for that purpose and compares HCOMP's ratio against them
+(HCOMP is within ~10 % at 7x less power).  This LZ77 uses a small sliding
+window suitable for the comparison experiments.
+
+Token format: a flag byte covers 8 tokens (bit set = match); literals are
+single bytes; matches are ``u16 offset | u8 length`` with lengths 3..258.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+_MIN_MATCH = 3
+_MAX_MATCH = 258
+_WINDOW = 4096
+
+
+def lz_compress(data: bytes) -> bytes:
+    """LZ77-compress ``data`` (empty input allowed)."""
+    out = bytearray()
+    tokens: list[tuple[bool, bytes]] = []
+    i = 0
+    n = len(data)
+    # index 3-grams for match finding
+    table: dict[bytes, list[int]] = {}
+    while i < n:
+        best_len = 0
+        best_off = 0
+        if i + _MIN_MATCH <= n:
+            key = data[i : i + _MIN_MATCH]
+            for start in reversed(table.get(key, [])):
+                if i - start > _WINDOW:
+                    break
+                length = _MIN_MATCH
+                limit = min(_MAX_MATCH, n - i)
+                while (
+                    length < limit and data[start + length] == data[i + length]
+                ):
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_off = i - start
+                    if length == limit:
+                        break
+        if best_len >= _MIN_MATCH:
+            tokens.append(
+                (True, best_off.to_bytes(2, "little") + bytes([best_len - _MIN_MATCH]))
+            )
+            for j in range(i, i + best_len):
+                if j + _MIN_MATCH <= n:
+                    table.setdefault(data[j : j + _MIN_MATCH], []).append(j)
+            i += best_len
+        else:
+            tokens.append((False, data[i : i + 1]))
+            if i + _MIN_MATCH <= n:
+                table.setdefault(data[i : i + _MIN_MATCH], []).append(i)
+            i += 1
+
+    out += len(data).to_bytes(4, "little")
+    for group_start in range(0, len(tokens), 8):
+        group = tokens[group_start : group_start + 8]
+        flags = 0
+        for bit, (is_match, _) in enumerate(group):
+            if is_match:
+                flags |= 1 << bit
+        out.append(flags)
+        for _, payload in group:
+            out += payload
+    return bytes(out)
+
+
+def lz_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`lz_compress`."""
+    if len(blob) < 4:
+        raise ConfigurationError("truncated LZ blob")
+    expected = int.from_bytes(blob[:4], "little")
+    out = bytearray()
+    pos = 4
+    while len(out) < expected:
+        if pos >= len(blob):
+            raise ConfigurationError("LZ stream ended early")
+        flags = blob[pos]
+        pos += 1
+        for bit in range(8):
+            if len(out) >= expected:
+                break
+            if flags & (1 << bit):
+                if pos + 3 > len(blob):
+                    raise ConfigurationError("truncated LZ match token")
+                offset = int.from_bytes(blob[pos : pos + 2], "little")
+                length = blob[pos + 2] + _MIN_MATCH
+                pos += 3
+                if offset == 0 or offset > len(out):
+                    raise ConfigurationError("invalid LZ match offset")
+                start = len(out) - offset
+                for k in range(length):
+                    out.append(out[start + k])
+            else:
+                if pos >= len(blob):
+                    raise ConfigurationError("truncated LZ literal")
+                out.append(blob[pos])
+                pos += 1
+    return bytes(out)

@@ -1,0 +1,26 @@
+"""Run-length encoding over symbol sequences."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def rle_encode(symbols: list[int]) -> list[tuple[int, int]]:
+    """Collapse a symbol sequence into (symbol, run_length) pairs."""
+    runs: list[tuple[int, int]] = []
+    for symbol in symbols:
+        if runs and runs[-1][0] == symbol:
+            runs[-1] = (symbol, runs[-1][1] + 1)
+        else:
+            runs.append((symbol, 1))
+    return runs
+
+
+def rle_decode(runs: list[tuple[int, int]]) -> list[int]:
+    """Inverse of :func:`rle_encode`."""
+    symbols: list[int] = []
+    for symbol, length in runs:
+        if length < 1:
+            raise ConfigurationError("run length must be >= 1")
+        symbols.extend([symbol] * length)
+    return symbols

@@ -1,0 +1,115 @@
+"""The distributed SCALO system: nodes + wireless network + maintenance.
+
+:class:`ScaloSystem` assembles N implants, the intra-SCALO TDMA network,
+the thermal placement check, and clock synchronisation — the full-stack
+object the examples drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.clock_sync import NodeClock, SNTPSynchroniser, SyncReport
+from repro.core.node import ScaloNode
+from repro.core.thermal import DEFAULT_SPACING_MM, PlacementCheck, check_placement
+from repro.errors import ConfigurationError
+from repro.hashing.lsh import LSHFamily
+from repro.network.network import WirelessNetwork
+from repro.network.packet import BROADCAST, Packet, PayloadKind
+from repro.network.tdma import TDMAConfig, TDMASchedule
+from repro.units import ELECTRODES_PER_NODE, NODE_POWER_CAP_MW
+
+
+@dataclass
+class ScaloSystem:
+    """A fleet of implants sharing one LSH configuration and one medium."""
+
+    n_nodes: int
+    electrodes_per_node: int = ELECTRODES_PER_NODE
+    spacing_mm: float = DEFAULT_SPACING_MM
+    power_cap_mw: float = NODE_POWER_CAP_MW
+    tdma: TDMAConfig = field(default_factory=TDMAConfig)
+    lsh_measure: str = "dtw"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError("need at least one node")
+        # one shared hash family: all implants must agree on seeds
+        self.lsh = LSHFamily.for_measure(self.lsh_measure)
+        self.nodes = [
+            ScaloNode(
+                node_id=i,
+                n_electrodes=self.electrodes_per_node,
+                lsh=self.lsh,
+                power_cap_mw=self.power_cap_mw,
+            )
+            for i in range(self.n_nodes)
+        ]
+        self.network = WirelessNetwork(tdma=self.tdma, seed=self.seed)
+        self._inboxes: dict[int, list[Packet]] = {i: [] for i in range(self.n_nodes)}
+        for node in self.nodes:
+            self.network.register(
+                node.node_id,
+                lambda pkt, nid=node.node_id: self._inboxes[nid].append(pkt),
+            )
+        self.clocks = [
+            NodeClock(offset_us=float(off))
+            for off in np.random.default_rng(self.seed).uniform(
+                -500, 500, self.n_nodes
+            )
+        ]
+
+    # -- placement / maintenance ------------------------------------------------------
+
+    def thermal_check(self) -> PlacementCheck:
+        return check_placement(self.n_nodes, self.power_cap_mw, self.spacing_mm)
+
+    def synchronise_clocks(self) -> SyncReport:
+        return SNTPSynchroniser(tdma=self.tdma, seed=self.seed).synchronise(
+            self.clocks
+        )
+
+    def default_tdma_schedule(self, slots_per_node: int = 1) -> TDMASchedule:
+        return TDMASchedule.round_robin(self.tdma, self.n_nodes, slots_per_node)
+
+    # -- messaging ---------------------------------------------------------------------
+
+    def broadcast_hashes(self, src: int, signatures: list[tuple[int, ...]],
+                         seq: int = 0) -> None:
+        """Pack and broadcast one node's hash batch."""
+        payload = b"".join(self.lsh.pack(sig) for sig in signatures)
+        packet = Packet.build(
+            src, BROADCAST, PayloadKind.HASHES, payload, seq=seq,
+            time_ticks=seq & 0xFFFFFFFF,
+        )
+        self.network.send(packet)
+
+    def drain_inbox(self, node_id: int) -> list[Packet]:
+        packets = self._inboxes[node_id]
+        self._inboxes[node_id] = []
+        return packets
+
+    def unpack_hashes(self, packet: Packet) -> list[tuple[int, ...]]:
+        width = len(self.lsh.pack(tuple([0] * self.lsh.config.n_components)))
+        payload = packet.payload
+        if len(payload) % width:
+            raise ConfigurationError("hash payload not a signature multiple")
+        return [
+            self.lsh.unpack(payload[i : i + width])
+            for i in range(0, len(payload), width)
+        ]
+
+    # -- ingest -----------------------------------------------------------------------
+
+    def ingest(self, windows: np.ndarray) -> list[list[tuple[int, ...]]]:
+        """Feed one window to every node: ``(n_nodes, electrodes, wlen)``."""
+        windows = np.asarray(windows)
+        if windows.shape[0] != self.n_nodes:
+            raise ConfigurationError("first axis must be nodes")
+        return [
+            node.ingest_window(windows[node.node_id])
+            for node in self.nodes
+        ]

@@ -1,0 +1,201 @@
+"""Adaptive decoding: the paper's declared extensions, implemented.
+
+Two features SCALO's authors flag but defer:
+
+* **Online Kalman recalibration** — "we do not change the Kalman filter
+  parameters online as done in some variants although SCALO supports
+  it" (§4).  :class:`AdaptiveKalmanFilter` adds recursive-least-squares
+  re-estimation of the observation matrix H, tracking the neural tuning
+  drift that §2.3 motivates recalibration with.
+* **Deeper networks** — "We will study SCALO support for DNNs in future
+  work" (§2.2).  :class:`DeepDecoder` stacks multiple ReLU layers and
+  decomposes the *first* layer across implants exactly like the shallow
+  network (the deeper layers are small and run on the aggregator), so
+  the distributed equality property is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.decoders.kalman import KalmanFilter, KalmanModel
+from repro.decoders.nn import PartialNN, aggregate_nn, decompose_nn
+from repro.errors import ConfigurationError
+from repro.linalg.mad import PostOp, mad
+
+
+@dataclass
+class AdaptiveKalmanFilter(KalmanFilter):
+    """Kalman filtering with RLS tracking of the observation matrix.
+
+    After each update, when a supervision signal (the true state, e.g.
+    from a calibration block) is available, H is refreshed with one
+    recursive-least-squares step per observation row.  ``forgetting``
+    below 1 lets old tuning fade — the knob that follows electrode drift.
+    """
+
+    forgetting: float = 0.995
+    _p_rls: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.8 < self.forgetting <= 1.0:
+            raise ConfigurationError("forgetting factor must be in (0.8, 1]")
+        self._p_rls = np.eye(self.model.n_state) * 10.0
+
+    def adapt(self, observation: np.ndarray, true_state: np.ndarray) -> None:
+        """One RLS step: refresh H from a supervised (state, obs) pair."""
+        z = np.asarray(observation, dtype=float)
+        x = np.asarray(true_state, dtype=float)
+        if z.shape != (self.model.n_obs,) or x.shape != (self.model.n_state,):
+            raise ConfigurationError("bad supervision shapes")
+        # shared gain for all rows (common regressor x)
+        p_x = self._p_rls @ x
+        gain = p_x / (self.forgetting + x @ p_x)
+        self._p_rls = (self._p_rls - np.outer(gain, p_x)) / self.forgetting
+        residual = z - self.model.h @ x
+        self.model.h += np.outer(residual, gain)
+
+    def step_supervised(self, observation: np.ndarray,
+                        true_state: np.ndarray) -> np.ndarray:
+        """Filter one step, then adapt H with the supervision."""
+        estimate = self.step(observation)
+        self.adapt(observation, true_state)
+        return estimate
+
+
+def observation_drift(model_a: KalmanModel, model_b: KalmanModel) -> float:
+    """Frobenius distance between two observation matrices (drift metric)."""
+    return float(np.linalg.norm(model_a.h - model_b.h))
+
+
+@dataclass
+class DeepDecoder:
+    """A multi-hidden-layer ReLU regressor with a distributed first layer.
+
+    Layer 0 (the wide, electrode-facing layer) decomposes across
+    implants exactly like :class:`~repro.decoders.nn.ShallowNN`; layers
+    1..L run on the aggregator node, whose matrices are small enough for
+    the MAD cluster.
+    """
+
+    weights: list[np.ndarray]  # layer l: (n_out_l, n_in_l)
+    biases: list[np.ndarray]
+    input_mean: np.ndarray | float = 0.0
+    input_std: np.ndarray | float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.biases):
+            raise ConfigurationError("one bias per layer required")
+        if len(self.weights) < 2:
+            raise ConfigurationError("a deep decoder needs >= 2 layers")
+        for l, (w, b) in enumerate(zip(self.weights, self.biases)):
+            if w.shape[0] != b.shape[0]:
+                raise ConfigurationError(f"layer {l} bias mismatch")
+            if l and w.shape[1] != self.weights[l - 1].shape[0]:
+                raise ConfigurationError(f"layer {l} width mismatch")
+
+    @property
+    def n_features(self) -> int:
+        return self.weights[0].shape[1]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        x = PostOp(normalise=True, mean=self.input_mean,
+                   std=self.input_std).apply(np.asarray(features, dtype=float))
+        for l in range(self.n_layers - 1):
+            x = mad(self.weights[l], x, self.biases[l], PostOp(relu=True))
+        return mad(self.weights[-1], x, self.biases[-1])
+
+    # -- distribution -----------------------------------------------------------
+
+    def _first_layer_shallow(self):
+        """View the first layer as a ShallowNN for decomposition reuse."""
+        from repro.decoders.nn import ShallowNN
+
+        return ShallowNN(
+            self.weights[0], self.biases[0],
+            np.eye(self.weights[0].shape[0]),
+            np.zeros(self.weights[0].shape[0]),
+            input_mean=self.input_mean, input_std=self.input_std,
+        )
+
+    def decompose(self, n_nodes: int) -> list[PartialNN]:
+        """Per-implant slices of the first layer."""
+        return decompose_nn(self._first_layer_shallow(), n_nodes)
+
+    def aggregate(self, partials: list[np.ndarray]) -> np.ndarray:
+        """Aggregator: finish layer 0, then run the deep stack."""
+        hidden = aggregate_nn(self._first_layer_shallow(), partials)
+        x = hidden
+        for l in range(1, self.n_layers - 1):
+            x = mad(self.weights[l], x, self.biases[l], PostOp(relu=True))
+        return mad(self.weights[-1], x, self.biases[-1])
+
+    def distributed_forward(self, node_features: list[np.ndarray]
+                            ) -> np.ndarray:
+        partials = self.decompose(len(node_features))
+        return self.aggregate(
+            [p.partial_preactivation(f)
+             for p, f in zip(partials, node_features)]
+        )
+
+
+def train_deep_decoder(
+    features: np.ndarray,
+    targets: np.ndarray,
+    hidden: tuple[int, ...] = (64, 32),
+    epochs: int = 250,
+    lr: float = 5e-3,
+    seed: int = 0,
+) -> DeepDecoder:
+    """Full-batch gradient descent for the deep regressor."""
+    x = np.asarray(features, dtype=float)
+    y = np.atleast_2d(np.asarray(targets, dtype=float))
+    if y.shape[0] != x.shape[0]:
+        y = y.T
+    if y.shape[0] != x.shape[0]:
+        raise ConfigurationError("targets must align with features")
+    if not hidden:
+        raise ConfigurationError("need at least one hidden layer")
+
+    mean = x.mean(axis=0)
+    std = x.std(axis=0)
+    std[std == 0] = 1.0
+    xn = (x - mean) / std
+
+    rng = np.random.default_rng(seed)
+    dims = [x.shape[1], *hidden, y.shape[1]]
+    weights = [
+        rng.normal(scale=np.sqrt(2.0 / dims[l]), size=(dims[l + 1], dims[l]))
+        for l in range(len(dims) - 1)
+    ]
+    biases = [np.zeros(dims[l + 1]) for l in range(len(dims) - 1)]
+
+    n = x.shape[0]
+    for _ in range(epochs):
+        activations = [xn]
+        pres = []
+        a = xn
+        for l in range(len(weights) - 1):
+            pre = a @ weights[l].T + biases[l]
+            pres.append(pre)
+            a = np.maximum(pre, 0.0)
+            activations.append(a)
+        out = a @ weights[-1].T + biases[-1]
+
+        grad = 2.0 * (out - y) / n
+        for l in range(len(weights) - 1, -1, -1):
+            grad_w = grad.T @ activations[l]
+            grad_b = grad.sum(axis=0)
+            if l:
+                grad = (grad @ weights[l]) * (pres[l - 1] > 0)
+            weights[l] -= lr * grad_w
+            biases[l] -= lr * grad_b
+
+    return DeepDecoder(weights, biases, input_mean=mean, input_std=std)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the SCALO reproduction.
+
+All library-raised exceptions derive from :class:`ScaloError` so callers can
+catch everything from this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ScaloError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ScaloError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class PowerBudgetExceeded(ScaloError):
+    """A pipeline or schedule requires more power than the implant cap."""
+
+    def __init__(self, required_mw: float, budget_mw: float, detail: str = ""):
+        self.required_mw = required_mw
+        self.budget_mw = budget_mw
+        message = (
+            f"required {required_mw:.3f} mW exceeds budget {budget_mw:.3f} mW"
+        )
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class DeadlineExceeded(ScaloError):
+    """A pipeline or schedule cannot meet its response-time target."""
+
+    def __init__(self, latency_ms: float, deadline_ms: float, detail: str = ""):
+        self.latency_ms = latency_ms
+        self.deadline_ms = deadline_ms
+        message = (
+            f"latency {latency_ms:.3f} ms exceeds deadline {deadline_ms:.3f} ms"
+        )
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class UnknownPEError(ScaloError, KeyError):
+    """A processing element name is not in the catalog."""
+
+
+class FabricError(ScaloError):
+    """Invalid fabric wiring (cycles, dangling ports, double connections)."""
+
+
+class SchedulingError(ScaloError):
+    """The ILP scheduler could not produce a feasible schedule."""
+
+
+class StorageError(ScaloError):
+    """Invalid NVM operation (bad address, write to unerased page, ...)."""
+
+
+class NetworkError(ScaloError):
+    """Invalid network operation (oversized packet, no TDMA slot, ...)."""
+
+
+class PacketCorrupted(NetworkError):
+    """A received packet failed its CRC check."""
+
+
+class QuerySyntaxError(ScaloError):
+    """The Trill-like query text could not be parsed."""
+
+
+class CompilationError(ScaloError):
+    """A parsed query could not be lowered onto the PE fabric."""

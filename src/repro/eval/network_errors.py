@@ -1,0 +1,128 @@
+"""Fig. 12: packet error rates and DTW failures vs network BER.
+
+Simulates the intra-SCALO packet stream through the binary-symmetric
+channel: hash packets (dropped when their CRC fails) and signal packets
+(delivered corrupted — DTW tolerates bit flips).  A "DTW failure" is a
+corrupted signal packet whose similarity *decision* flips relative to the
+clean signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic_ieeg import generate_ieeg
+from repro.network.channel import BitErrorChannel
+from repro.network.packet import Packet, PayloadKind
+from repro.similarity.dtw import dtw_distance
+from repro.units import WINDOW_SAMPLES
+
+#: BER points on the Fig. 12 x-axis.
+BER_POINTS = (1e-4, 1e-5, 1e-6)
+
+#: Hash payload: 96 electrodes x 1 B, HCOMP-compressed ~2x.
+HASH_PAYLOAD_BYTES = 48
+
+#: Signal payload: one 240 B window (120 x 16-bit samples).
+SIGNAL_PAYLOAD_BYTES = 240
+
+
+@dataclass
+class NetworkErrorResult:
+    """One BER point."""
+
+    ber: float
+    hash_packet_error_pct: float
+    signal_packet_error_pct: float
+    dtw_failure_pct: float
+
+
+def _signal_windows(n: int, seed: int) -> np.ndarray:
+    recording = generate_ieeg(
+        n_nodes=1, n_electrodes=4, duration_s=max(0.5, n / 500),
+        n_seizures=1, seizure_duration_s=0.2, seed=seed,
+    )
+    flat = recording.data.reshape(-1, recording.n_samples)
+    rng = np.random.default_rng(seed)
+    out = []
+    per_channel = recording.n_samples // WINDOW_SAMPLES
+    for _ in range(n):
+        c = int(rng.integers(flat.shape[0]))
+        w = int(rng.integers(per_channel))
+        out.append(flat[c, w * WINDOW_SAMPLES:(w + 1) * WINDOW_SAMPLES])
+    return np.stack(out)
+
+
+def _quantise(window: np.ndarray) -> np.ndarray:
+    scale = 1000.0
+    return np.clip(np.round(window * scale), -32768, 32767).astype("<i2")
+
+
+def network_errors(
+    ber: float,
+    n_packets: int = 400,
+    dtw_threshold_band: int = 10,
+    seed: int = 0,
+) -> NetworkErrorResult:
+    """Run the Fig. 12 experiment at one BER."""
+    rng = np.random.default_rng(seed)
+    channel = BitErrorChannel(ber, seed=seed + 1)
+
+    # hash packets
+    hash_errors = 0
+    for i in range(n_packets):
+        payload = bytes(rng.integers(0, 256, HASH_PAYLOAD_BYTES, dtype=np.uint8))
+        packet = Packet.build(0, 1, PayloadKind.HASHES, payload, seq=i & 0xFFFF)
+        received, flips = channel.transmit(packet)
+        if flips and not received.intact:
+            hash_errors += 1
+
+    # signal packets + DTW decision flips
+    windows = _signal_windows(n_packets, seed)
+    partner = np.roll(windows, 1, axis=0)
+    signal_errors = 0
+    dtw_failures = 0
+    clean_costs = np.array(
+        [
+            dtw_distance(w.astype(float), p.astype(float), dtw_threshold_band)
+            for w, p in zip(windows, partner)
+        ]
+    )
+    threshold = float(np.median(clean_costs))
+    for i in range(n_packets):
+        samples = _quantise(windows[i])
+        packet = Packet.build(
+            0, 1, PayloadKind.SIGNAL, samples.tobytes(), seq=i & 0xFFFF
+        )
+        received, flips = channel.transmit(packet)
+        if flips == 0:
+            continue
+        if not received.intact:
+            signal_errors += 1
+        if not received.header_ok:
+            continue  # unroutable; counted as an error above
+        corrupted = np.frombuffer(received.payload, dtype="<i2").astype(float)
+        if corrupted.shape[0] != WINDOW_SAMPLES:
+            continue
+        cost = dtw_distance(corrupted / 1000.0,
+                            partner[i].astype(float), dtw_threshold_band)
+        clean_decision = clean_costs[i] <= threshold
+        corrupt_decision = cost <= threshold
+        if clean_decision != corrupt_decision:
+            dtw_failures += 1
+
+    return NetworkErrorResult(
+        ber=ber,
+        hash_packet_error_pct=100.0 * hash_errors / n_packets,
+        signal_packet_error_pct=100.0 * signal_errors / n_packets,
+        dtw_failure_pct=100.0 * dtw_failures / n_packets,
+    )
+
+
+def fig12(n_packets: int = 400, seed: int = 0
+          ) -> dict[float, NetworkErrorResult]:
+    """All BER points."""
+    return {ber: network_errors(ber, n_packets, seed=seed)
+            for ber in BER_POINTS}

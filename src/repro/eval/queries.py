@@ -1,0 +1,54 @@
+"""Fig. 10: interactive query throughput over 11 nodes."""
+
+from __future__ import annotations
+
+from repro.apps.queries import QueryCostModel, QuerySpec, query_data_bytes
+
+#: The paper's four time ranges (ms) — 7, 24, 42, 60 MB over 11 nodes.
+TIME_RANGES_MS = (110.0, 400.0, 700.0, 1000.0)
+
+#: Match fractions evaluated for Q1/Q2.
+MATCH_FRACTIONS = (0.05, 0.50, 1.00)
+
+
+def fig10(n_nodes: int = 11) -> dict[str, dict[tuple[float, float], float]]:
+    """QPS per query: {query: {(time_range_ms, match_fraction): qps}}."""
+    model = QueryCostModel(n_nodes=n_nodes)
+    out: dict[str, dict[tuple[float, float], float]] = {
+        "Q1": {}, "Q2": {}, "Q3": {}
+    }
+    for time_range in TIME_RANGES_MS:
+        for fraction in MATCH_FRACTIONS:
+            out["Q1"][(time_range, fraction)] = model.cost(
+                QuerySpec("q1", time_range, fraction)
+            ).queries_per_second
+            out["Q2"][(time_range, fraction)] = model.cost(
+                QuerySpec("q2", time_range, fraction)
+            ).queries_per_second
+        out["Q3"][(time_range, 1.0)] = model.cost(
+            QuerySpec("q3", time_range)
+        ).queries_per_second
+    return out
+
+
+def q2_hash_vs_dtw(n_nodes: int = 11, time_range_ms: float = 110.0,
+                   match_fraction: float = 0.05) -> dict[str, dict[str, float]]:
+    """The §6.4 comparison: Q2 with hashes vs exact DTW (QPS and power)."""
+    model = QueryCostModel(n_nodes=n_nodes)
+    hash_cost = model.cost(QuerySpec("q2", time_range_ms, match_fraction,
+                                     use_hash=True))
+    dtw_cost = model.cost(QuerySpec("q2", time_range_ms, match_fraction,
+                                    use_hash=False))
+    return {
+        "hash": {"qps": hash_cost.queries_per_second,
+                 "power_mw": hash_cost.power_mw},
+        "dtw": {"qps": dtw_cost.queries_per_second,
+                "power_mw": dtw_cost.power_mw},
+    }
+
+
+def data_sizes_mb(n_nodes: int = 11) -> dict[float, float]:
+    """Query data volumes per time range (the paper's 7/24/42/60 MB)."""
+    return {
+        t: query_data_bytes(t, n_nodes) / 1e6 for t in TIME_RANGES_MS
+    }

@@ -1,0 +1,38 @@
+"""Tiny text-report helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 2,
+) -> str:
+    """Render rows as a fixed-width text table."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, series: Mapping[object, float],
+                  precision: int = 2) -> str:
+    """Render one named series as 'name: k=v k=v ...'."""
+    body = " ".join(f"{k}={v:.{precision}f}" for k, v in series.items())
+    return f"{name}: {body}"

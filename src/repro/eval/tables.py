@@ -1,0 +1,33 @@
+"""Table reproductions: Table 1 (PE catalog) and Table 3 (radios)."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table
+from repro.hardware.catalog import PE_CATALOG, format_table1, total_area_kge
+from repro.network.radio import RADIO_CATALOG
+
+
+def table1_text() -> str:
+    """Paper Table 1 as text."""
+    return format_table1()
+
+
+def table1_summary() -> dict[str, float]:
+    """Aggregates over the catalog (sanity anchors for tests)."""
+    return {
+        "n_pes": float(len(PE_CATALOG)),
+        "total_area_kge": total_area_kge(),
+        "max_freq_mhz": max(s.max_freq_mhz for s in PE_CATALOG.values()),
+        "total_static_uw": sum(s.static_uw for s in PE_CATALOG.values()),
+    }
+
+
+def table3_text() -> str:
+    """Paper Table 3 as text."""
+    rows = [
+        (name, f"{spec.bit_error_rate:g}", spec.data_rate_mbps, spec.power_mw)
+        for name, spec in RADIO_CATALOG.items()
+    ]
+    return format_table(
+        ("Name", "BER", "Data rate (Mbps)", "Power (mW)"), rows, precision=3
+    )

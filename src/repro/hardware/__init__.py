@@ -1,0 +1,57 @@
+"""Hardware substrate: PE catalog, clock domains, fabric, microcontroller.
+
+This package models the per-implant processor of paper Fig. 2b using the
+published Table 1 numbers.  Everything is deterministic in latency and
+power, which is the property SCALO's ILP scheduler relies on.
+"""
+
+from repro.hardware.catalog import (
+    PE_CATALOG,
+    PESpec,
+    SCALO_ONLY_PES,
+    catalog_names,
+    format_table1,
+    get_pe,
+    total_area_kge,
+)
+from repro.hardware.fabric import Fabric
+from repro.hardware.microcontroller import (
+    MC_FREQ_MHZ,
+    Microcontroller,
+    SOFTWARE_ROUTINES,
+    SoftwareRoutine,
+)
+from repro.hardware.node_fabric import (
+    block_unit_ids,
+    mad_cluster_ids,
+    node_area_kge,
+    node_static_power_mw,
+    standard_node_fabric,
+)
+from repro.hardware.pe import ClockDomain, ProcessingElement
+from repro.hardware.pipeline import Pipeline, PipelineStage, chain
+
+__all__ = [
+    "PE_CATALOG",
+    "PESpec",
+    "SCALO_ONLY_PES",
+    "catalog_names",
+    "format_table1",
+    "get_pe",
+    "total_area_kge",
+    "Fabric",
+    "MC_FREQ_MHZ",
+    "Microcontroller",
+    "SOFTWARE_ROUTINES",
+    "SoftwareRoutine",
+    "block_unit_ids",
+    "mad_cluster_ids",
+    "node_area_kge",
+    "node_static_power_mw",
+    "standard_node_fabric",
+    "ClockDomain",
+    "ProcessingElement",
+    "Pipeline",
+    "PipelineStage",
+    "chain",
+]

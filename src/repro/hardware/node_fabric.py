@@ -1,0 +1,57 @@
+"""The full per-node processor of paper Fig. 2b.
+
+Instantiates every PE a SCALO node carries: the complete Table 1 catalog
+plus the replicated LIN ALG cluster (ten multiply-add units, four of
+them tiled into the 4-way block for large matrices).  Used for area and
+idle-power accounting of the whole chip, and as the substrate on which
+deployments wire their pipelines.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.catalog import catalog_names
+from repro.hardware.fabric import Fabric
+from repro.linalg.tiling import BLOCK_WAYS, MAD_CLUSTER_SIZE
+
+#: The multiply-add PE that the LIN ALG cluster replicates (paper §3.2:
+#: ten MAD units; Table 1 lists the block multiplier that realises them).
+MAD_PE = "BMUL"
+
+
+def standard_node_fabric() -> Fabric:
+    """Every PE of Fig. 2b, unwired (switch programs come from codegen).
+
+    One instance of each catalog PE, plus nine extra MAD replicas so the
+    cluster totals ten; the first ``BLOCK_WAYS`` replicas form the tiled
+    block unit.
+    """
+    fabric = Fabric()
+    for name in catalog_names():
+        fabric.add_pe(name)
+    for _ in range(MAD_CLUSTER_SIZE - 1):
+        fabric.add_pe(MAD_PE)
+    return fabric
+
+
+def mad_cluster_ids(fabric: Fabric) -> list[str]:
+    """Instance ids of the MAD cluster, block-unit members first."""
+    ids = sorted(
+        key for key in fabric.pes if key.split(".")[0] == MAD_PE
+    )
+    return ids[:MAD_CLUSTER_SIZE]
+
+
+def block_unit_ids(fabric: Fabric) -> list[str]:
+    """The four MAD replicas ganged into the 4-way block multiplier."""
+    return mad_cluster_ids(fabric)[:BLOCK_WAYS]
+
+
+def node_area_kge() -> float:
+    """Total logic area of one node's fabric (KGE)."""
+    return standard_node_fabric().area_kge
+
+
+def node_static_power_mw() -> float:
+    """Leakage + SRAM power with every PE powered (the worst case; real
+    schedules power-gate unused PEs)."""
+    return standard_node_fabric().static_uw / 1e3

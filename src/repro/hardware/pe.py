@@ -1,0 +1,169 @@
+"""Processing-element instances: clock domains, frequency division, power.
+
+SCALO composes PEs in a GALS (globally asynchronous, locally synchronous)
+architecture: every PE sits in its own clock domain and can be slowed to
+``f_max / k`` for an integer divider ``k`` chosen to just sustain the
+application's data rate (paper §3.2, "Optimal Power Tuning").  Dynamic power
+scales linearly with frequency; static power is always paid while the PE is
+powered on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import PESpec, get_pe
+
+
+@dataclass
+class ClockDomain:
+    """A pausable per-PE clock running at ``max_freq_mhz / divider``.
+
+    The divider is realised in hardware as a counter passing through every
+    k-th pulse; it costs only microwatts (paper cites QDI constant-time
+    counters) so we ignore its power.
+    """
+
+    max_freq_mhz: float
+    divider: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_freq_mhz <= 0:
+            raise ConfigurationError("clock max frequency must be positive")
+        if self.divider < 1 or int(self.divider) != self.divider:
+            raise ConfigurationError("clock divider must be a positive integer")
+
+    @property
+    def freq_mhz(self) -> float:
+        """Effective clock frequency after division."""
+        return self.max_freq_mhz / self.divider
+
+    def slowest_divider_for(self, required_freq_mhz: float) -> int:
+        """Largest integer divider whose output still meets ``required_freq_mhz``.
+
+        This is the power-optimal setting: the slowest clock that sustains
+        the target data rate.
+        """
+        if required_freq_mhz <= 0:
+            raise ConfigurationError("required frequency must be positive")
+        if required_freq_mhz > self.max_freq_mhz:
+            raise ConfigurationError(
+                f"required {required_freq_mhz} MHz exceeds max "
+                f"{self.max_freq_mhz} MHz"
+            )
+        return int(self.max_freq_mhz // required_freq_mhz)
+
+
+@dataclass
+class ProcessingElement:
+    """A live PE instance: a catalog spec plus a clock-domain configuration.
+
+    ``n_electrodes`` is the number of electrode channels whose data stream
+    this PE instance is currently processing; dynamic power is the catalog's
+    per-electrode figure scaled by channel count and clock ratio.
+
+    ``pairwise`` marks PEs whose work grows with the number of channel
+    *pairs* rather than channels (the XCOR feature extractor correlating
+    electrode pairs); their dynamic power picks up an extra ``n/pair_norm``
+    factor, which is what bends seizure detection's throughput-vs-power
+    curve quadratic in the paper (§6.2).
+    """
+
+    spec: PESpec
+    clock: ClockDomain = field(default=None)  # type: ignore[assignment]
+    n_electrodes: float = 0.0
+    pairwise: bool = False
+    #: channel-pair normalisation: at pair_norm channels a pairwise PE burns
+    #: exactly its catalog per-electrode dynamic power per channel.
+    pair_norm: float = 96.0
+
+    def __post_init__(self) -> None:
+        if self.clock is None:
+            self.clock = ClockDomain(self.spec.max_freq_mhz)
+        if self.n_electrodes < 0:
+            raise ConfigurationError("electrode count cannot be negative")
+
+    @classmethod
+    def from_name(cls, name: str, **kwargs) -> "ProcessingElement":
+        """Instantiate a PE by its Table 1 name."""
+        return cls(spec=get_pe(name), **kwargs)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def freq_mhz(self) -> float:
+        return self.clock.freq_mhz
+
+    @property
+    def clock_ratio(self) -> float:
+        """Fraction of the maximum frequency the PE currently runs at."""
+        return self.clock.freq_mhz / self.spec.max_freq_mhz
+
+    # -- power ----------------------------------------------------------------
+
+    @property
+    def static_uw(self) -> float:
+        """Leakage + SRAM power (uW); paid whenever the PE is on."""
+        return self.spec.static_uw
+
+    @property
+    def dynamic_uw(self) -> float:
+        """Dynamic power (uW) at the current channel count and clock."""
+        per_channel = self.spec.dyn_uw_per_electrode * self.clock_ratio
+        if self.pairwise:
+            per_channel *= self.n_electrodes / self.pair_norm
+        return per_channel * self.n_electrodes
+
+    @property
+    def power_uw(self) -> float:
+        """Total power (uW)."""
+        return self.static_uw + self.dynamic_uw
+
+    @property
+    def power_mw(self) -> float:
+        """Total power (mW)."""
+        return self.power_uw / 1e3
+
+    # -- latency ---------------------------------------------------------------
+
+    @property
+    def latency_ms(self) -> float:
+        """Latency for one window/batch at the current configuration.
+
+        The paper's multi-rail frequency scheme keeps PE latency at the
+        Table 1 value regardless of how many inputs are active, as long as
+        the clock meets the data rate; we model exactly that.  For
+        data-dependent PEs the caller must supply latency externally.
+        """
+        if self.spec.latency_ms is None:
+            raise ConfigurationError(
+                f"{self.name} has data-dependent latency; "
+                "compute it from the workload instead"
+            )
+        return self.spec.latency_ms
+
+    # -- tuning ----------------------------------------------------------------
+
+    def tune_for_load(self, load_fraction: float) -> None:
+        """Pick the slowest clock that sustains ``load_fraction`` of max rate.
+
+        ``load_fraction`` is the PE's required processing rate relative to
+        the rate it sustains at maximum frequency (e.g. electrodes handled
+        over electrodes handled at f_max).
+        """
+        if not 0 < load_fraction <= 1:
+            raise ConfigurationError(
+                f"load fraction must be in (0, 1], got {load_fraction}"
+            )
+        self.clock.divider = self.clock.slowest_divider_for(
+            self.spec.max_freq_mhz * load_fraction
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessingElement({self.name}, {self.freq_mhz:g} MHz, "
+            f"{self.n_electrodes:g} ch, {self.power_uw:.1f} uW)"
+        )

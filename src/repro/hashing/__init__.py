@@ -1,0 +1,36 @@
+"""Locality-sensitive hashing: SCALO's fast-but-approximate similarity."""
+
+from repro.hashing.collision import CollisionChecker, HashRecord, RecentHashStore
+from repro.hashing.emd_hash import EMDHash
+from repro.hashing.lsh import (
+    LSHConfig,
+    LSHFamily,
+    MEASURE_PRESETS,
+    SUPPORTED_MEASURES,
+)
+from repro.hashing.minhash import (
+    finalize_hash,
+    minhash_signature,
+    weighted_minhash_sample,
+)
+from repro.hashing.ngram import ngram_counts, profile_similarity
+from repro.hashing.sketch import random_projection_vector, sign_sketch, sketch_length
+
+__all__ = [
+    "CollisionChecker",
+    "HashRecord",
+    "RecentHashStore",
+    "EMDHash",
+    "LSHConfig",
+    "LSHFamily",
+    "MEASURE_PRESETS",
+    "SUPPORTED_MEASURES",
+    "finalize_hash",
+    "minhash_signature",
+    "weighted_minhash_sample",
+    "ngram_counts",
+    "profile_similarity",
+    "random_projection_vector",
+    "sign_sketch",
+    "sketch_length",
+]

@@ -1,0 +1,77 @@
+"""Deterministic weighted min-hash (the NGRAM PE, part 2).
+
+The original SSH scheme uses randomised weighted min-hash whose rejection
+sampling has variable latency.  SCALO replaces it with a constant-time
+alternative (the paper cites consistent hashing): for each n-gram ``g``
+with weight ``w_g``, draw a deterministic pseudo-uniform ``u_g = h(g,
+seed)`` in (0, 1) and score it ``u_g ** (1 / w_g)``; the arg-max n-gram is
+the sample.  This is the classic one-pass weighted min-wise sampler: the
+probability that two profiles select the same n-gram equals their weighted
+Jaccard similarity, and the compute per n-gram is constant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.errors import ConfigurationError
+
+
+def _uniform01(value: int, seed: int) -> float:
+    """Deterministic hash of ``(value, seed)`` to a float in (0, 1)."""
+    digest = hashlib.blake2b(
+        struct.pack("<qq", value, seed), digest_size=8
+    ).digest()
+    as_int = int.from_bytes(digest, "little")
+    # avoid exactly 0 so the 1/w power is well defined
+    return (as_int + 1) / (2**64 + 2)
+
+
+def weighted_minhash_sample(counts: dict[int, int], seed: int) -> int:
+    """Select one n-gram from a weighted profile, min-wise consistently.
+
+    Returns:
+        The selected n-gram's packed integer value.
+
+    Raises:
+        ConfigurationError: for an empty profile.
+    """
+    if not counts:
+        raise ConfigurationError("cannot min-hash an empty n-gram profile")
+    best_key = -1
+    best_score = -1.0
+    for key, weight in counts.items():
+        if weight <= 0:
+            continue
+        score = _uniform01(key, seed) ** (1.0 / weight)
+        if score > best_score:
+            best_score = score
+            best_key = key
+    if best_key < 0:
+        raise ConfigurationError("profile has no positive weights")
+    return best_key
+
+
+def finalize_hash(sample: int, seed: int, bits: int) -> int:
+    """Map a min-hash sample to a ``bits``-wide hash value.
+
+    The paper's hashes are 8 bits per window (1-2 bytes total across
+    components); this is the final quantisation step.
+    """
+    if not 1 <= bits <= 32:
+        raise ConfigurationError("hash width must be 1..32 bits")
+    digest = hashlib.blake2b(
+        struct.pack("<qq", sample, ~seed & 0xFFFFFFFF), digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "little") & ((1 << bits) - 1)
+
+
+def minhash_signature(
+    counts: dict[int, int], seeds: list[int], bits: int
+) -> tuple[int, ...]:
+    """One hash component per seed — the OR-construction signature."""
+    return tuple(
+        finalize_hash(weighted_minhash_sample(counts, seed), seed, bits)
+        for seed in seeds
+    )

@@ -1,0 +1,85 @@
+"""Sign sketches of signal windows (the HCONV PE).
+
+Following the SSH scheme (Luo & Shrivastava) the paper bases its DTW /
+Euclidean / XCOR hashes on: slide a length-``w`` window across the signal
+with stride ``delta``, dot each position with a fixed random vector, and
+keep only the sign — producing a bit string ("sketch") whose local
+structure is robust to time warping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def random_projection_vector(
+    length: int, seed: int, rng_salt: int = 0
+) -> np.ndarray:
+    """The fixed +-1/Gaussian projection vector shared by all nodes.
+
+    Every implant must use the *same* vector so hashes are comparable
+    across nodes; the vector is derived deterministically from the seed.
+    """
+    if length < 1:
+        raise ConfigurationError("projection length must be >= 1")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, rng_salt]))
+    return rng.standard_normal(length)
+
+
+def sign_sketch(
+    window: np.ndarray,
+    projection: np.ndarray,
+    stride: int = 1,
+    normalise: bool = False,
+    difference: bool = True,
+) -> np.ndarray:
+    """Bit sketch: sign structure of sliding dot products with ``projection``.
+
+    Args:
+        window: 1-D signal window.
+        projection: the shared random vector; its length is the sketch
+            sub-window size ``w``.
+        stride: hop between sliding positions (SSH's ``delta``).
+        normalise: z-score the window first.  Pearson correlation is
+            invariant to offset and scale, so the XCOR-configured hash
+            normalises; the Euclidean/DTW hashes do not.
+        difference: take the sign of the dot-product *first difference*
+            rather than the raw sign.  Neural signals have a strong 1/f
+            component that makes consecutive overlapping dot products
+            drift together; raw signs then degenerate into long runs and
+            every window hashes alike.  Differencing whitens the sketch
+            while preserving the warping-tolerant local structure.
+
+    Returns:
+        uint8 array of 0/1 bits, one per sliding position (minus one
+        when differencing).
+    """
+    x = np.asarray(window, dtype=float)
+    r = np.asarray(projection, dtype=float)
+    if x.ndim != 1 or r.ndim != 1:
+        raise ConfigurationError("window and projection must be 1-D")
+    if r.shape[0] > x.shape[0]:
+        raise ConfigurationError(
+            f"projection ({r.shape[0]}) longer than window ({x.shape[0]})"
+        )
+    if stride < 1:
+        raise ConfigurationError("stride must be >= 1")
+    if normalise:
+        std = x.std()
+        x = (x - x.mean()) / std if std > 0 else x - x.mean()
+    positions = np.lib.stride_tricks.sliding_window_view(x, r.shape[0])[::stride]
+    dots = positions @ r
+    if difference:
+        return (np.diff(dots) > 0).astype(np.uint8)
+    return (dots > 0).astype(np.uint8)
+
+
+def sketch_length(window_len: int, w: int, stride: int = 1,
+                  difference: bool = True) -> int:
+    """Number of sketch bits produced for the given geometry."""
+    if window_len < w:
+        return 0
+    positions = (window_len - w) // stride + 1
+    return max(0, positions - 1) if difference else positions

@@ -1,0 +1,24 @@
+"""Trill-like query language: parser, compiler, runtime (paper §3.7)."""
+
+from repro.lang.ast import Call, QueryChain, Value
+from repro.lang.compiler import (
+    METHOD_OPERATORS,
+    CompiledQuery,
+    compile_query,
+    compile_text,
+)
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.runtime import QueryRuntime
+
+__all__ = [
+    "Call",
+    "QueryChain",
+    "Value",
+    "METHOD_OPERATORS",
+    "CompiledQuery",
+    "compile_query",
+    "compile_text",
+    "parse_program",
+    "parse_query",
+    "QueryRuntime",
+]

@@ -1,0 +1,49 @@
+"""16-bit fixed-point helpers matching the PE datapaths.
+
+SCALO's ADCs and linear-algebra PEs are 16-bit; this module provides the
+quantise/dequantise pair (Q-format) used to check that decoders survive
+the hardware's precision, plus saturation semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Default Q-format: Q6.9 with one sign bit (range ~[-64, 64), LSB ~2e-3).
+DEFAULT_FRAC_BITS = 9
+WORD_BITS = 16
+
+
+def to_fixed(values: np.ndarray, frac_bits: int = DEFAULT_FRAC_BITS) -> np.ndarray:
+    """Quantise floats to 16-bit fixed point with saturation."""
+    if not 0 <= frac_bits < WORD_BITS:
+        raise ConfigurationError(f"frac_bits must be in [0, {WORD_BITS})")
+    scale = 1 << frac_bits
+    lo = -(1 << (WORD_BITS - 1))
+    hi = (1 << (WORD_BITS - 1)) - 1
+    scaled = np.round(np.asarray(values, dtype=float) * scale)
+    return np.clip(scaled, lo, hi).astype(np.int16)
+
+
+def from_fixed(values: np.ndarray, frac_bits: int = DEFAULT_FRAC_BITS) -> np.ndarray:
+    """Dequantise 16-bit fixed point back to floats."""
+    if not 0 <= frac_bits < WORD_BITS:
+        raise ConfigurationError(f"frac_bits must be in [0, {WORD_BITS})")
+    return np.asarray(values, dtype=np.int32).astype(float) / (1 << frac_bits)
+
+
+def quantise_roundtrip(
+    values: np.ndarray, frac_bits: int = DEFAULT_FRAC_BITS
+) -> np.ndarray:
+    """Floats as the hardware would see them (quantise then dequantise)."""
+    return from_fixed(to_fixed(values, frac_bits), frac_bits)
+
+
+def quantisation_error(
+    values: np.ndarray, frac_bits: int = DEFAULT_FRAC_BITS
+) -> float:
+    """Max absolute error introduced by the fixed-point representation."""
+    values = np.asarray(values, dtype=float)
+    return float(np.max(np.abs(values - quantise_roundtrip(values, frac_bits))))

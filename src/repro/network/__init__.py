@@ -1,0 +1,70 @@
+"""Wireless networking: packets, CRC, BER channel, radios, TDMA."""
+
+from repro.network.channel import BitErrorChannel, flip_bits
+from repro.network.crc import crc32, verify
+from repro.network.network import DROP_ON_ERROR, DeliveryStats, WirelessNetwork
+from repro.network.packet import (
+    BROADCAST,
+    HEADER_BITS,
+    MAX_PAYLOAD_BYTES,
+    PACKET_OVERHEAD_BITS,
+    Header,
+    Packet,
+    PayloadKind,
+    packet_airtime_ms,
+    packets_needed,
+)
+from repro.network.simulator import Delivery, TDMASimulator
+from repro.network.radio import (
+    EXTERNAL_RADIO,
+    HIGH_PERF,
+    LOW_BER,
+    LOW_DATA_RATE,
+    LOW_POWER,
+    RADIO_CATALOG,
+    RadioSpec,
+    get_radio,
+    path_loss_db,
+    scale_radio_to_distance,
+)
+from repro.network.tdma import (
+    DEFAULT_GUARD_MS,
+    TDMAConfig,
+    TDMASchedule,
+    hash_payload_bytes,
+)
+
+__all__ = [
+    "BitErrorChannel",
+    "flip_bits",
+    "crc32",
+    "verify",
+    "DROP_ON_ERROR",
+    "DeliveryStats",
+    "WirelessNetwork",
+    "BROADCAST",
+    "HEADER_BITS",
+    "MAX_PAYLOAD_BYTES",
+    "PACKET_OVERHEAD_BITS",
+    "Header",
+    "Packet",
+    "PayloadKind",
+    "packet_airtime_ms",
+    "packets_needed",
+    "Delivery",
+    "TDMASimulator",
+    "EXTERNAL_RADIO",
+    "HIGH_PERF",
+    "LOW_BER",
+    "LOW_DATA_RATE",
+    "LOW_POWER",
+    "RADIO_CATALOG",
+    "RadioSpec",
+    "get_radio",
+    "path_loss_db",
+    "scale_radio_to_distance",
+    "DEFAULT_GUARD_MS",
+    "TDMAConfig",
+    "TDMASchedule",
+    "hash_payload_bytes",
+]

@@ -1,0 +1,66 @@
+"""The BER channel: uniformly-random bit flips over packet frames.
+
+The paper's Fig. 12/15b experiments inject uniformly-random bit errors
+into packet headers and payloads at a given bit-error ratio and observe
+the effect on checksums and on application outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.packet import Packet
+
+
+def flip_bits(data: bytes, bit_indices: np.ndarray) -> bytes:
+    """Return ``data`` with the given absolute bit positions flipped."""
+    if len(data) == 0:
+        return data
+    buf = bytearray(data)
+    for bit in np.asarray(bit_indices, dtype=np.int64):
+        if not 0 <= bit < 8 * len(buf):
+            raise ConfigurationError(f"bit index {bit} out of range")
+        buf[bit // 8] ^= 1 << (7 - bit % 8)
+    return bytes(buf)
+
+
+@dataclass
+class BitErrorChannel:
+    """A memoryless binary-symmetric channel at a fixed BER."""
+
+    bit_error_rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit_error_rate < 1:
+            raise ConfigurationError("BER must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def corrupt_bytes(self, data: bytes) -> tuple[bytes, int]:
+        """Pass ``data`` through the channel; returns (output, n_flipped)."""
+        n_bits = 8 * len(data)
+        if n_bits == 0 or self.bit_error_rate == 0:
+            return data, 0
+        n_errors = self._rng.binomial(n_bits, self.bit_error_rate)
+        if n_errors == 0:
+            return data, 0
+        positions = self._rng.choice(n_bits, size=n_errors, replace=False)
+        return flip_bits(data, positions), int(n_errors)
+
+    def transmit(self, packet: Packet) -> tuple[Packet, int]:
+        """Send one packet through the channel.
+
+        The whole frame (header, CRCs, payload) is exposed to errors, so a
+        flip may land in the header, a checksum, or the data.
+
+        Returns:
+            (received packet, number of flipped bits).
+        """
+        wire = packet.to_wire()
+        corrupted, n_flipped = self.corrupt_bytes(wire)
+        if n_flipped == 0:
+            return packet, 0
+        return Packet.from_wire(corrupted), n_flipped

@@ -1,0 +1,37 @@
+"""CRC32 (IEEE 802.3 polynomial), table-driven — the NPACK checksum.
+
+Implemented from the polynomial rather than via :mod:`zlib` because the
+checksum hardware is part of the system being reproduced.  The result
+matches ``zlib.crc32`` (the reflected 0xEDB88320 form), which the tests
+verify.
+"""
+
+from __future__ import annotations
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, seed: int = 0) -> int:
+    """CRC32 of ``data``; chainable via ``seed`` (pass the previous CRC)."""
+    crc = seed ^ 0xFFFFFFFF
+    for byte in data:
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def verify(data: bytes, expected: int) -> bool:
+    """Check ``data`` against a previously computed CRC."""
+    return crc32(data) == expected

@@ -1,0 +1,113 @@
+"""A functional simulator of the intra-SCALO wireless network.
+
+Delivers packets between registered endpoints through a BER channel,
+applying the paper's receive policy: packets with corrupted *hash*
+payloads are dropped, corrupted *signal* payloads are delivered anyway
+(DTW tolerates bit flips), and a corrupted header always drops the packet
+since it cannot be routed (paper §3.4, §6.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.network.channel import BitErrorChannel
+from repro.network.packet import BROADCAST, Packet, PayloadKind
+from repro.network.tdma import TDMAConfig
+
+#: Payload kinds that are dropped when their CRC fails.
+DROP_ON_ERROR = {
+    PayloadKind.HASHES,
+    PayloadKind.FEATURES,
+    PayloadKind.PARTIAL_RESULT,
+    PayloadKind.QUERY,
+    PayloadKind.QUERY_RESULT,
+    PayloadKind.CLOCK_SYNC,
+    PayloadKind.CONTROL,
+}
+
+
+@dataclass
+class DeliveryStats:
+    """Counters for one network's lifetime."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_header: int = 0
+    dropped_payload: int = 0
+    delivered_corrupted: int = 0
+    airtime_ms: float = 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        # broadcast fan-out counts each delivery attempt
+        attempts = (
+            self.delivered
+            + self.dropped_header
+            + self.dropped_payload
+        )
+        return 1.0 - self.delivered / attempts if attempts else 0.0
+
+
+Receiver = Callable[[Packet], None]
+
+
+@dataclass
+class WirelessNetwork:
+    """Endpoints + channel + receive policy.
+
+    Endpoints register a callback keyed by node id; :meth:`send` runs the
+    channel per receiver (each receiver sees independent noise, as real
+    radio links do).
+    """
+
+    tdma: TDMAConfig = field(default_factory=TDMAConfig)
+    seed: int = 0
+    _receivers: dict[int, Receiver] = field(default_factory=dict)
+    stats: DeliveryStats = field(default_factory=DeliveryStats)
+
+    def __post_init__(self) -> None:
+        self._channel = BitErrorChannel(self.tdma.radio.bit_error_rate, self.seed)
+
+    def register(self, node_id: int, receiver: Receiver) -> None:
+        if node_id in self._receivers:
+            raise NetworkError(f"node {node_id} already registered")
+        self._receivers[node_id] = receiver
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._receivers)
+
+    def send(self, packet: Packet) -> None:
+        """Transmit a packet; deliveries follow the error policy."""
+        if packet.header.src not in self._receivers:
+            raise NetworkError(f"unknown source {packet.header.src}")
+        self.stats.sent += 1
+        self.stats.airtime_ms += self.tdma.packet_airtime_ms(len(packet.payload))
+
+        if packet.header.dst == BROADCAST:
+            targets = [n for n in self._receivers if n != packet.header.src]
+        else:
+            if packet.header.dst not in self._receivers:
+                raise NetworkError(f"unknown destination {packet.header.dst}")
+            targets = [packet.header.dst]
+
+        for target in targets:
+            received, _ = self._channel.transmit(packet)
+            self._deliver(target, received)
+
+    def _deliver(self, target: int, packet: Packet) -> None:
+        if not packet.header_ok:
+            self.stats.dropped_header += 1
+            return
+        if not packet.payload_ok:
+            if packet.header.kind in DROP_ON_ERROR:
+                self.stats.dropped_payload += 1
+                return
+            self.stats.delivered_corrupted += 1
+        self.stats.delivered += 1
+        self._receivers[target](packet)

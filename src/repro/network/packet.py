@@ -1,0 +1,184 @@
+"""Intra-SCALO packet format (paper §3.4).
+
+Packets carry an 84-bit header and up to 256 bytes of data; the header and
+the data each get a 32-bit CRC32 checksum.  On a checksum error the
+receiver drops hash packets but *keeps* signal packets, because similarity
+measures like DTW tolerate a few flipped samples (§6.6).
+
+Header layout (84 bits)::
+
+    src        6 bits   source node id
+    dst        6 bits   destination node id (63 = broadcast)
+    kind       4 bits   payload kind
+    flow       8 bits   flow tag (ILP schedule flow id)
+    seq       16 bits   sequence number
+    time      32 bits   window timestamp (units of 1/8 ms)
+    length    12 bits   payload length in bytes
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.network.crc import crc32
+
+#: Maximum payload size (bytes).
+MAX_PAYLOAD_BYTES = 256
+
+#: Header size in bits (the paper's 84-bit header).
+HEADER_BITS = 84
+
+#: Wire overhead per packet: header + two CRC32s, in bits.
+PACKET_OVERHEAD_BITS = HEADER_BITS + 2 * 32
+
+#: Broadcast destination id.
+BROADCAST = 0x3F
+
+
+class PayloadKind(enum.IntEnum):
+    """What a packet carries — receivers dispatch and apply the
+    drop-on-error policy by kind."""
+
+    HASHES = 0
+    SIGNAL = 1
+    FEATURES = 2
+    PARTIAL_RESULT = 3
+    QUERY = 4
+    QUERY_RESULT = 5
+    CLOCK_SYNC = 6
+    CONTROL = 7
+
+
+@dataclass(frozen=True)
+class Header:
+    """Decoded packet header."""
+
+    src: int
+    dst: int
+    kind: PayloadKind
+    flow: int
+    seq: int
+    time_ticks: int
+    length: int
+
+    _FIELDS = (("src", 6), ("dst", 6), ("kind", 4), ("flow", 8),
+               ("seq", 16), ("time_ticks", 32), ("length", 12))
+
+    def __post_init__(self) -> None:
+        for name, bits in self._FIELDS:
+            value = int(getattr(self, name))
+            if not 0 <= value < (1 << bits):
+                raise ConfigurationError(
+                    f"header field {name}={value} does not fit {bits} bits"
+                )
+
+    def pack(self) -> bytes:
+        """Serialise to ceil(84 / 8) = 11 bytes."""
+        acc = 0
+        for name, bits in self._FIELDS:
+            acc = (acc << bits) | int(getattr(self, name))
+        acc <<= (88 - HEADER_BITS)  # pad to 11 bytes
+        return acc.to_bytes(11, "big")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Header":
+        if len(raw) != 11:
+            raise NetworkError(f"header must be 11 bytes, got {len(raw)}")
+        acc = int.from_bytes(raw, "big") >> (88 - HEADER_BITS)
+        values = {}
+        for name, bits in reversed(cls._FIELDS):
+            values[name] = acc & ((1 << bits) - 1)
+            acc >>= bits
+        values["kind"] = PayloadKind(values["kind"])
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A framed packet: header + payload + both checksums."""
+
+    header: Header
+    payload: bytes
+    header_crc: int
+    payload_crc: int
+
+    @classmethod
+    def build(
+        cls,
+        src: int,
+        dst: int,
+        kind: PayloadKind,
+        payload: bytes,
+        flow: int = 0,
+        seq: int = 0,
+        time_ticks: int = 0,
+    ) -> "Packet":
+        if len(payload) > MAX_PAYLOAD_BYTES:
+            raise NetworkError(
+                f"payload {len(payload)} B exceeds max {MAX_PAYLOAD_BYTES} B"
+            )
+        header = Header(src, dst, kind, flow, seq, time_ticks, len(payload))
+        return cls(
+            header=header,
+            payload=payload,
+            header_crc=crc32(header.pack()),
+            payload_crc=crc32(payload),
+        )
+
+    # -- integrity ---------------------------------------------------------------
+
+    @property
+    def header_ok(self) -> bool:
+        return crc32(self.header.pack()) == self.header_crc
+
+    @property
+    def payload_ok(self) -> bool:
+        return crc32(self.payload) == self.payload_crc
+
+    @property
+    def intact(self) -> bool:
+        return self.header_ok and self.payload_ok
+
+    # -- wire size ----------------------------------------------------------------
+
+    @property
+    def wire_bits(self) -> int:
+        """Total bits on air: header + payload + two CRCs."""
+        return PACKET_OVERHEAD_BITS + 8 * len(self.payload)
+
+    def to_wire(self) -> bytes:
+        """Serialise the whole frame (header, crc, payload, crc)."""
+        return (
+            self.header.pack()
+            + self.header_crc.to_bytes(4, "big")
+            + self.payload
+            + self.payload_crc.to_bytes(4, "big")
+        )
+
+    @classmethod
+    def from_wire(cls, raw: bytes) -> "Packet":
+        """Parse a frame laid out by :meth:`to_wire` (no integrity check)."""
+        if len(raw) < 11 + 4 + 4:
+            raise NetworkError("frame too short")
+        header_raw = raw[:11]
+        header_crc = int.from_bytes(raw[11:15], "big")
+        payload = raw[15:-4]
+        payload_crc = int.from_bytes(raw[-4:], "big")
+        return cls(Header.unpack(header_raw), payload, header_crc, payload_crc)
+
+
+def packet_airtime_ms(payload_bytes: int, rate_mbps: float) -> float:
+    """Time on air for one packet at ``rate_mbps``."""
+    if payload_bytes < 0 or payload_bytes > MAX_PAYLOAD_BYTES:
+        raise NetworkError(f"invalid payload size {payload_bytes}")
+    bits = PACKET_OVERHEAD_BITS + 8 * payload_bytes
+    return bits / (rate_mbps * 1e3)
+
+
+def packets_needed(total_bytes: int) -> int:
+    """How many max-size packets carry ``total_bytes`` of payload."""
+    if total_bytes <= 0:
+        return 0
+    return -(-total_bytes // MAX_PAYLOAD_BYTES)

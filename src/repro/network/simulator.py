@@ -1,0 +1,168 @@
+"""Discrete-event simulation of the TDMA medium.
+
+:class:`~repro.network.network.WirelessNetwork` delivers packets
+instantly — right for functional tests, wrong for timing questions.
+This simulator runs the fixed TDMA frame slot by slot: nodes enqueue
+packets, each slot carries at most one packet from its owner, the BER
+channel corrupts in flight, and every delivery is stamped with the time
+it actually completed.  It is how the reproduction answers "when did the
+hashes arrive", not just "did they".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+from repro.network.channel import BitErrorChannel
+from repro.network.network import DROP_ON_ERROR
+from repro.network.packet import BROADCAST, Packet
+from repro.network.tdma import TDMAConfig, TDMASchedule
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One completed delivery."""
+
+    packet: Packet
+    src: int
+    dst: int
+    enqueued_ms: float
+    delivered_ms: float
+    corrupted: bool
+
+    @property
+    def latency_ms(self) -> float:
+        return self.delivered_ms - self.enqueued_ms
+
+
+@dataclass
+class TDMASimulator:
+    """Slot-stepped medium shared by ``n_nodes`` implants."""
+
+    n_nodes: int
+    config: TDMAConfig = field(default_factory=TDMAConfig)
+    schedule: TDMASchedule | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise NetworkError("need at least one node")
+        if self.schedule is None:
+            self.schedule = TDMASchedule.round_robin(self.config, self.n_nodes)
+        self._channel = BitErrorChannel(
+            self.config.radio.bit_error_rate, self.seed
+        )
+        # per-node FIFO of (enqueue_time, order, packet)
+        self._queues: dict[int, list[tuple[float, int, Packet]]] = {
+            n: [] for n in range(self.n_nodes)
+        }
+        self._order = 0
+        self.now_ms = 0.0
+        self.slot_index = 0
+        self.deliveries: list[Delivery] = []
+        self.drops: list[Delivery] = []
+
+    # -- transmit-side API ---------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        """Hand a packet to its source node's transmit queue."""
+        src = packet.header.src
+        if src not in self._queues:
+            raise NetworkError(f"unknown source node {src}")
+        heapq.heappush(self._queues[src], (self.now_ms, self._order, packet))
+        self._order += 1
+
+    def pending(self, node: int | None = None) -> int:
+        if node is not None:
+            return len(self._queues[node])
+        return sum(len(q) for q in self._queues.values())
+
+    # -- the clock ------------------------------------------------------------------
+
+    def step_slot(self) -> list[Delivery]:
+        """Advance one TDMA slot; returns deliveries completed in it."""
+        assert self.schedule is not None
+        owner = self.schedule.slot_owners[
+            self.slot_index % len(self.schedule.slot_owners)
+        ]
+        self.slot_index += 1
+        completed: list[Delivery] = []
+
+        queue = self._queues[owner]
+        if queue:
+            enqueued_ms, _, packet = heapq.heappop(queue)
+            airtime = self.config.packet_airtime_ms(len(packet.payload))
+            delivered_ms = self.now_ms + airtime
+            targets = (
+                [n for n in self._queues if n != owner]
+                if packet.header.dst == BROADCAST
+                else [packet.header.dst]
+            )
+            for dst in targets:
+                if dst not in self._queues:
+                    raise NetworkError(f"unknown destination {dst}")
+                received, flips = self._channel.transmit(packet)
+                corrupted = flips > 0 and not received.intact
+                delivery = Delivery(
+                    received, owner, dst, enqueued_ms, delivered_ms, corrupted
+                )
+                dropped = not received.header_ok or (
+                    corrupted and received.header.kind in DROP_ON_ERROR
+                )
+                if dropped:
+                    self.drops.append(delivery)
+                else:
+                    self.deliveries.append(delivery)
+                    completed.append(delivery)
+        self.now_ms += self.config.slot_ms()
+        return completed
+
+    def run_until_idle(self, max_ms: float = 1e3) -> float:
+        """Step until every queue drains; returns the elapsed time.
+
+        Raises:
+            NetworkError: if the medium cannot drain within ``max_ms``
+                (offered load exceeds capacity).
+        """
+        start = self.now_ms
+        while self.pending():
+            if self.now_ms - start > max_ms:
+                raise NetworkError(
+                    f"medium saturated: {self.pending()} packets still "
+                    f"queued after {max_ms} ms"
+                )
+            self.step_slot()
+        return self.now_ms - start
+
+    def run_for(self, duration_ms: float) -> list[Delivery]:
+        """Step for a fixed duration; returns that window's deliveries."""
+        end = self.now_ms + duration_ms
+        completed: list[Delivery] = []
+        while self.now_ms < end:
+            completed.extend(self.step_slot())
+        return completed
+
+    # -- measurements ------------------------------------------------------------------
+
+    def mean_latency_ms(self) -> float:
+        if not self.deliveries:
+            return 0.0
+        unique = {
+            (d.packet.header.seq, d.src, d.enqueued_ms): d.latency_ms
+            for d in self.deliveries
+        }
+        return sum(unique.values()) / len(unique)
+
+    def goodput_mbps(self) -> float:
+        """Delivered payload bits over elapsed time."""
+        if self.now_ms == 0:
+            return 0.0
+        unique = {}
+        for d in self.deliveries:
+            unique[(d.packet.header.seq, d.src, d.enqueued_ms)] = len(
+                d.packet.payload
+            )
+        bits = 8 * sum(unique.values())
+        return bits / (self.now_ms * 1e3)

@@ -1,0 +1,375 @@
+"""The ILP scheduler: optimal electrode allocation across flows.
+
+Mirrors the paper's §3.5 formulation: each application stage is a *flow*;
+the objective maximises the priority-weighted number of electrode signals
+processed per flow, subject to per-node power, shared-TDMA network, and
+NVM-bandwidth constraints.  SCALO's deterministic components make every
+coefficient exact.
+
+Quadratic (pairwise) power terms are handled with the lambda-formulation
+of piecewise-linear convexification: because the power curve is convex and
+appears on the small side of a "<= budget" constraint, the LP relaxation
+is exact at breakpoints and conservative between them — no integer
+variables needed.  The solver is HiGHS via :func:`scipy.optimize.linprog`
+(the paper's artifact uses GLPK; same problem, different backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SchedulingError
+from repro.network.packet import PACKET_OVERHEAD_BITS
+from repro.network.tdma import TDMAConfig
+from repro.scheduler.model import (
+    BASE_STATIC_MW,
+    MI_KF_NVM_BYTES_PER_E2,
+    PAIR_NORM,
+    TaskModel,
+)
+from repro.storage.nvm import NVMDevice
+from repro.units import NODE_POWER_CAP_MW, electrodes_to_mbps
+
+#: Breakpoints used to convexify quadratic power terms.
+N_BREAKPOINTS = 33
+
+#: Medium-utilisation cap: the TDMA schedule cannot fill more than this
+#: fraction of wall-clock time (guard slots, resync).
+NETWORK_UTILISATION_CAP = 0.95
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One schedulable flow: a task model plus its priority weight."""
+
+    task: TaskModel
+    weight: float = 1.0
+    #: per-node electrode cap (None = unbounded, the fig. 8 mode where
+    #: ADCs are added until another constraint binds)
+    electrode_cap: float | None = None
+
+
+@dataclass
+class FlowAllocation:
+    """The scheduler's decision for one flow."""
+
+    flow: Flow
+    electrodes_per_node: float
+    aggregate_electrodes: float
+    power_mw_per_node: float
+    airtime_ms_per_period: float
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return electrodes_to_mbps(self.aggregate_electrodes)
+
+
+@dataclass
+class Schedule:
+    """A complete solution."""
+
+    allocations: list[FlowAllocation]
+    n_nodes: int
+    power_budget_mw: float
+    node_power_mw: float
+    network_utilisation: float
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return sum(a.aggregate_mbps for a in self.allocations)
+
+    def weighted_mbps(self) -> float:
+        """Priority-weighted aggregate throughput.
+
+        The paper's Fig. 9a metric: the weight-normalised sum of per-flow
+        aggregate throughputs (equal weights reduce to the mean flow
+        throughput).
+        """
+        total_weight = sum(a.flow.weight for a in self.allocations)
+        if total_weight == 0:
+            return 0.0
+        return sum(
+            a.flow.weight * a.aggregate_mbps for a in self.allocations
+        ) / total_weight
+
+    def allocation(self, task_name: str) -> FlowAllocation:
+        for a in self.allocations:
+            if a.flow.task.name == task_name:
+                return a
+        raise SchedulingError(f"no allocation for task {task_name!r}")
+
+
+def _comm_multiplier(task: TaskModel, n_nodes: int) -> float:
+    """How many bursts per period the pattern puts on the shared medium."""
+    if task.comm == "none":
+        return 0.0
+    if task.comm == "one_all":
+        return 1.0
+    if task.comm == "all_all":
+        return float(n_nodes)
+    return float(max(0, n_nodes - 1))  # all_one
+
+
+@dataclass
+class SchedulerProblem:
+    """Build and solve one scheduling instance."""
+
+    n_nodes: int
+    flows: list[Flow]
+    power_budget_mw: float = NODE_POWER_CAP_MW
+    tdma: TDMAConfig = field(default_factory=TDMAConfig)
+    #: per-round medium overhead (ms): schedule beacon / resync per node
+    round_overhead_ms: float = 0.0
+    #: hard upper bound used when a flow has no electrode cap
+    unbounded_cap: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise SchedulingError("need at least one node")
+        if not self.flows:
+            raise SchedulingError("need at least one flow")
+        if self.power_budget_mw <= 0:
+            raise SchedulingError("power budget must be positive")
+
+    # -- coefficient helpers -----------------------------------------------------
+
+    def _airtime_slope_fixed(self, task: TaskModel) -> tuple[float, float]:
+        """Airtime per period of one burst: (ms per electrode, fixed ms)."""
+        if task.comm == "none":
+            return 0.0, 0.0
+        rate_kbps_ms = self.tdma.radio.data_rate_mbps * 1e3  # bits per ms
+        slope = 8.0 * task.wire_bytes_per_electrode / rate_kbps_ms
+        fixed = (
+            (PACKET_OVERHEAD_BITS + 8.0 * task.wire_bytes_fixed) / rate_kbps_ms
+            + self.tdma.guard_ms
+            + self.round_overhead_ms
+        )
+        return slope, fixed
+
+    def _static_mw(self) -> float:
+        """Static power of the union of powered PEs plus baseline."""
+        pe_union: set[str] = set()
+        uses_nvm = False
+        for flow in self.flows:
+            pe_union.update(flow.task.pe_names)
+            uses_nvm = uses_nvm or flow.task.uses_nvm
+        from repro.hardware.catalog import get_pe
+        from repro.storage.nvm import LEAKAGE_MW
+
+        static = sum(get_pe(name).static_uw for name in pe_union) / 1e3
+        static += BASE_STATIC_MW
+        if uses_nvm:
+            static += LEAKAGE_MW
+        return static
+
+    def _power_cap(self, task: TaskModel, dyn_budget_mw: float) -> float:
+        """Max electrodes the binding node's dynamic budget can pay for."""
+        if dyn_budget_mw <= 0:
+            return 0.0
+        budget_uw = dyn_budget_mw * 1e3
+        share = 1.0 / self.n_nodes if task.centralised else 1.0
+        a = task.pairwise_uw / PAIR_NORM
+        b = task.dyn_uw_per_electrode * share
+        if a == 0:
+            return budget_uw / b if b > 0 else float("inf")
+        return (-b + (b * b + 4 * a * budget_uw) ** 0.5) / (2 * a)
+
+    def _centralised_cap(self, task: TaskModel) -> float:
+        """Total-electrode cap of a centralised flow from NVM bandwidth."""
+        bw_bytes_per_ms = NVMDevice.read_bandwidth_mbps() * 1e3 / 8
+        budget_bytes = bw_bytes_per_ms * task.period_ms
+        return float(np.sqrt(budget_bytes / MI_KF_NVM_BYTES_PER_E2))
+
+    # -- solve --------------------------------------------------------------------
+
+    def solve(self) -> Schedule:
+        """Maximise priority-weighted electrodes; returns the schedule.
+
+        Raises:
+            SchedulingError: when even zero electrodes violate a
+                constraint (static power over budget) or the LP fails.
+        """
+        static_mw = self._static_mw()
+        dyn_budget = self.power_budget_mw - static_mw
+        if dyn_budget <= 0:
+            raise SchedulingError(
+                f"static power {static_mw:.2f} mW exceeds the "
+                f"{self.power_budget_mw:.2f} mW budget"
+            )
+
+        n_flows = len(self.flows)
+        caps: list[float] = []
+        for flow in self.flows:
+            cap = flow.electrode_cap if flow.electrode_cap is not None else self.unbounded_cap
+            task = flow.task
+            if task.centralised:
+                cap = min(cap * self.n_nodes, self._centralised_cap(task))
+            # never more than the whole dynamic budget can pay for; the
+            # sensing (linear) share of a centralised flow spreads over N
+            cap = min(cap, self._power_cap(task, dyn_budget))
+            caps.append(max(cap, 0.0))
+
+        # variable layout: [e_0..e_{F-1}] + lambda blocks for quadratic flows
+        quad_flows = [i for i, f in enumerate(self.flows) if f.task.pairwise_uw > 0]
+        lambda_offset: dict[int, int] = {}
+        n_vars = n_flows
+        for i in quad_flows:
+            lambda_offset[i] = n_vars
+            n_vars += N_BREAKPOINTS
+
+        # objective: maximise sum w_i * n_i * e_i  (linprog minimises)
+        c = np.zeros(n_vars)
+        for i, flow in enumerate(self.flows):
+            count = 1.0 if flow.task.centralised else float(self.n_nodes)
+            c[i] = -flow.weight * count
+
+        a_ub: list[np.ndarray] = []
+        b_ub: list[float] = []
+        a_eq: list[np.ndarray] = []
+        b_eq: list[float] = []
+
+        # power: sum_i dyn_i(e_i) <= dyn_budget (per node; centralised
+        # flows load the central node which is the binding one)
+        power_row = np.zeros(n_vars)
+        for i, flow in enumerate(self.flows):
+            task = flow.task
+            # For a centralised flow the variable is the *total* electrode
+            # count: sensing (linear) cost spreads over all nodes while the
+            # quadratic compute lands on the central node — the binding
+            # node pays linear/N + quadratic(E).
+            linear_share = 1.0 / self.n_nodes if task.centralised else 1.0
+            if i in lambda_offset:
+                # e_i = sum lambda_j x_j ; power uses sum lambda_j g(x_j)
+                xs = np.linspace(0.0, max(caps[i], 1.0), N_BREAKPOINTS)
+                off = lambda_offset[i]
+                link = np.zeros(n_vars)
+                link[i] = 1.0
+                link[off : off + N_BREAKPOINTS] = -xs
+                a_eq.append(link)
+                b_eq.append(0.0)
+                hull = np.zeros(n_vars)
+                hull[off : off + N_BREAKPOINTS] = 1.0
+                a_eq.append(hull)
+                b_eq.append(1.0)
+                power_row[off : off + N_BREAKPOINTS] += np.array(
+                    [
+                        task.dyn_uw_per_electrode * x * linear_share / 1e3
+                        + task.pairwise_uw * x * x / (1e3 * PAIR_NORM)
+                        for x in xs
+                    ]
+                )
+            else:
+                power_row[i] += task.dyn_uw_per_electrode * linear_share / 1e3
+        a_ub.append(power_row)
+        b_ub.append(dyn_budget)
+
+        # network: per-flow latency budget + shared medium utilisation.
+        # all-to-one aggregations pipeline across periods (the aggregator
+        # stretches its cadence when the medium saturates), so they do not
+        # get a hard latency row — their rate hit shows up in the
+        # application-level intents/second metric instead.
+        util_row = np.zeros(n_vars)
+        for i, flow in enumerate(self.flows):
+            task = flow.task
+            mult = _comm_multiplier(task, self.n_nodes)
+            if mult == 0.0 or task.comm == "all_one":
+                continue
+            slope, fixed = self._airtime_slope_fixed(task)
+            latency_rhs = task.net_budget_ms - mult * fixed
+            if latency_rhs <= 0:
+                # even an empty burst from every sender overruns the
+                # budget: the flow cannot run at this node count
+                caps[i] = 0.0
+                continue
+            if slope > 0:
+                lat_row = np.zeros(n_vars)
+                lat_row[i] = mult * slope
+                a_ub.append(lat_row)
+                b_ub.append(latency_rhs)
+            util_row[i] += mult * slope / task.period_ms
+        if np.any(util_row):
+            fixed_util = sum(
+                _comm_multiplier(f.task, self.n_nodes)
+                * self._airtime_slope_fixed(f.task)[1]
+                / f.task.period_ms
+                for i, f in enumerate(self.flows)
+                if caps[i] > 0 and f.task.comm not in ("none", "all_one")
+            )
+            a_ub.append(util_row)
+            b_ub.append(max(NETWORK_UTILISATION_CAP - fixed_util, 0.0))
+
+        # NVM bandwidth per node (linear part)
+        bw_bytes_per_ms = NVMDevice.read_bandwidth_mbps() * 1e3 / 8
+        nvm_row = np.zeros(n_vars)
+        for i, flow in enumerate(self.flows):
+            task = flow.task
+            per_ms = task.nvm_bytes_per_electrode_period / task.period_ms
+            nvm_row[i] += per_ms
+        if np.any(nvm_row):
+            a_ub.append(nvm_row)
+            b_ub.append(bw_bytes_per_ms)
+
+        bounds = [(0.0, caps[i]) for i in range(n_flows)]
+        bounds += [(0.0, 1.0)] * (n_vars - n_flows)
+
+        result = linprog(
+            c,
+            A_ub=np.vstack(a_ub) if a_ub else None,
+            b_ub=np.asarray(b_ub) if b_ub else None,
+            A_eq=np.vstack(a_eq) if a_eq else None,
+            b_eq=np.asarray(b_eq) if b_eq else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            raise SchedulingError(f"LP failed: {result.message}")
+
+        allocations = []
+        node_power = static_mw
+        utilisation = 0.0
+        for i, flow in enumerate(self.flows):
+            e = float(result.x[i])
+            task = flow.task
+            count = 1.0 if task.centralised else float(self.n_nodes)
+            slope, fixed = self._airtime_slope_fixed(task)
+            mult = _comm_multiplier(task, self.n_nodes)
+            airtime = mult * (slope * e + fixed) if mult else 0.0
+            allocations.append(
+                FlowAllocation(
+                    flow=flow,
+                    electrodes_per_node=e if not task.centralised else e / self.n_nodes,
+                    aggregate_electrodes=e * count,
+                    power_mw_per_node=task.dynamic_mw(e),
+                    airtime_ms_per_period=airtime,
+                )
+            )
+            node_power += task.dynamic_mw(e)
+            utilisation += airtime / task.period_ms if mult else 0.0
+
+        return Schedule(
+            allocations=allocations,
+            n_nodes=self.n_nodes,
+            power_budget_mw=self.power_budget_mw,
+            node_power_mw=node_power,
+            network_utilisation=utilisation,
+        )
+
+
+def max_throughput_mbps(
+    task: TaskModel,
+    n_nodes: int,
+    power_budget_mw: float = NODE_POWER_CAP_MW,
+    electrode_cap: float | None = None,
+    tdma: TDMAConfig | None = None,
+) -> float:
+    """Single-flow convenience: the paper's "maximum aggregate throughput"."""
+    problem = SchedulerProblem(
+        n_nodes=n_nodes,
+        flows=[Flow(task, electrode_cap=electrode_cap)],
+        power_budget_mw=power_budget_mw,
+        tdma=tdma if tdma is not None else TDMAConfig(),
+    )
+    return problem.solve().aggregate_mbps

@@ -1,0 +1,82 @@
+"""Sliding-window utilities over electrode sample streams.
+
+SCALO's pipelines operate on contiguous time windows of neural data — the
+paper uses overlapping 4 ms / 120-sample windows for seizure analysis and
+50 ms windows for movement decoding.  Arrays are ``(n_samples,)`` for one
+channel or ``(n_channels, n_samples)`` for a multi-electrode recording.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import ADC_SAMPLE_RATE_HZ, WINDOW_SAMPLES
+
+
+def sliding_windows(
+    samples: np.ndarray, window: int = WINDOW_SAMPLES, step: int | None = None
+) -> np.ndarray:
+    """Slice a 1-D sample stream into overlapping windows.
+
+    Args:
+        samples: shape ``(n_samples,)``.
+        window: samples per window.
+        step: hop between window starts; defaults to ``window`` (disjoint).
+
+    Returns:
+        Array of shape ``(n_windows, window)``.  A zero-copy strided view
+        when possible.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim != 1:
+        raise ConfigurationError("sliding_windows expects a 1-D stream")
+    if window <= 0:
+        raise ConfigurationError("window length must be positive")
+    if step is None:
+        step = window
+    if step <= 0:
+        raise ConfigurationError("window step must be positive")
+    n_windows = (samples.shape[0] - window) // step + 1
+    if n_windows <= 0:
+        return np.empty((0, window), dtype=samples.dtype)
+    return np.lib.stride_tricks.sliding_window_view(samples, window)[::step]
+
+
+def channel_windows(
+    recording: np.ndarray, window: int = WINDOW_SAMPLES, step: int | None = None
+) -> np.ndarray:
+    """Window every channel of a multi-electrode recording.
+
+    Args:
+        recording: shape ``(n_channels, n_samples)``.
+
+    Returns:
+        Array of shape ``(n_channels, n_windows, window)``.
+    """
+    recording = np.asarray(recording)
+    if recording.ndim != 2:
+        raise ConfigurationError("channel_windows expects (channels, samples)")
+    views = [sliding_windows(channel, window, step) for channel in recording]
+    return np.stack(views)
+
+
+def window_count(n_samples: int, window: int, step: int | None = None) -> int:
+    """Number of windows :func:`sliding_windows` would produce."""
+    if step is None:
+        step = window
+    if n_samples < window:
+        return 0
+    return (n_samples - window) // step + 1
+
+
+def ms_to_samples(duration_ms: float, rate_hz: float = ADC_SAMPLE_RATE_HZ) -> int:
+    """Convert a duration to a sample count at ``rate_hz``."""
+    if duration_ms < 0:
+        raise ConfigurationError("duration cannot be negative")
+    return int(round(duration_ms * rate_hz / 1e3))
+
+
+def samples_to_ms(n_samples: int, rate_hz: float = ADC_SAMPLE_RATE_HZ) -> float:
+    """Convert a sample count to milliseconds at ``rate_hz``."""
+    return n_samples * 1e3 / rate_hz

@@ -1,0 +1,110 @@
+"""Unified similarity-measure registry with thresholded match decisions.
+
+The paper's pipelines decide "similar / not similar" by comparing a
+measure against a clinician-set threshold (§6.5).  Measures disagree in
+polarity — higher cross-correlation means *more* similar, higher DTW cost
+means *less* similar — so this module wraps each measure with its polarity
+and provides a single :func:`is_similar` entry point used by both the exact
+comparators and the hash-accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.similarity.dtw import dtw_distance
+from repro.similarity.emd import emd_signal
+from repro.similarity.xcor import max_cross_correlation
+
+
+def euclidean_distance(series_a: np.ndarray, series_b: np.ndarray) -> float:
+    """Plain L2 distance between equal-length windows."""
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ConfigurationError("expect two equal-length 1-D series")
+    return float(np.linalg.norm(a - b))
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A similarity measure plus its match polarity.
+
+    ``higher_is_similar`` is True for correlation-type measures and False
+    for distance-type measures.
+    """
+
+    name: str
+    func: Callable[[np.ndarray, np.ndarray], float]
+    higher_is_similar: bool
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> float:
+        return self.func(a, b)
+
+    def is_similar(self, a: np.ndarray, b: np.ndarray, threshold: float) -> bool:
+        """Thresholded match decision with the right polarity."""
+        value = self.func(a, b)
+        if self.higher_is_similar:
+            return value >= threshold
+        return value <= threshold
+
+    def signed_margin(self, a: np.ndarray, b: np.ndarray, threshold: float) -> float:
+        """Distance from the threshold, positive on the 'similar' side.
+
+        Used by the Fig. 11 experiment, which bins hash errors by how far
+        the pair sits from the decision boundary (as a fraction of the
+        threshold).
+        """
+        if threshold == 0:
+            raise ConfigurationError("threshold must be non-zero for margins")
+        value = self.func(a, b)
+        margin = (value - threshold) / abs(threshold)
+        return margin if self.higher_is_similar else -margin
+
+
+def _dtw_banded(a: np.ndarray, b: np.ndarray) -> float:
+    # band 10 on 120-sample windows mirrors the PE's Sakoe-Chiba setting
+    return dtw_distance(a, b, band=10)
+
+
+def _emd_normalised(a: np.ndarray, b: np.ndarray) -> float:
+    """Amplitude-normalised EMD: z-score both windows, fixed bin range.
+
+    Seizure propagation attenuates signals without changing their shape,
+    so the comparator (and its EMDH hash twin) normalises gain away.
+    """
+
+    def z(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        std = x.std()
+        return (x - x.mean()) / std if std > 0 else x - x.mean()
+
+    return emd_signal(z(a), z(b), n_bins=20, value_range=(-4.0, 4.0))
+
+
+def _xcor_lagged(a: np.ndarray, b: np.ndarray) -> float:
+    # cross-correlation searches lags (propagating activity arrives with a
+    # site-to-site delay); +-10 samples matches the DTW band setting
+    return max_cross_correlation(a, b, max_lag=10)
+
+
+MEASURES: dict[str, Measure] = {
+    "dtw": Measure("dtw", _dtw_banded, higher_is_similar=False),
+    "euclidean": Measure("euclidean", euclidean_distance, higher_is_similar=False),
+    "xcor": Measure("xcor", _xcor_lagged, higher_is_similar=True),
+    "emd": Measure("emd", _emd_normalised, higher_is_similar=False),
+}
+
+
+def get_measure(name: str) -> Measure:
+    """Look up a measure by name (``dtw``, ``euclidean``, ``xcor``, ``emd``)."""
+    try:
+        return MEASURES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown measure {name!r}; choose from {sorted(MEASURES)}"
+        ) from None

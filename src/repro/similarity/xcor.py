@@ -1,0 +1,59 @@
+"""Pearson cross-correlation (the XCOR PE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def pearson_correlation(series_a: np.ndarray, series_b: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length series.
+
+    Returns 0 for constant inputs (zero variance) rather than NaN — a
+    constant window carries no similarity information.
+    """
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ConfigurationError("expect two equal-length 1-D series")
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.sqrt(np.sum(a * a) * np.sum(b * b))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def cross_correlation_lags(
+    series_a: np.ndarray, series_b: np.ndarray, max_lag: int
+) -> np.ndarray:
+    """Pearson correlation at integer lags in ``[-max_lag, +max_lag]``.
+
+    Lag k compares ``a[t]`` against ``b[t + k]``.  Useful for detecting
+    time-shifted seizure propagation between brain sites.
+    """
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ConfigurationError("expect two equal-length 1-D series")
+    if max_lag < 0 or max_lag >= a.shape[0]:
+        raise ConfigurationError("max_lag must be in [0, len)")
+    correlations = np.empty(2 * max_lag + 1)
+    for i, lag in enumerate(range(-max_lag, max_lag + 1)):
+        if lag < 0:
+            correlations[i] = pearson_correlation(a[-lag:], b[: lag or None])
+        elif lag > 0:
+            correlations[i] = pearson_correlation(a[:-lag], b[lag:])
+        else:
+            correlations[i] = pearson_correlation(a, b)
+    return correlations
+
+
+def max_cross_correlation(
+    series_a: np.ndarray, series_b: np.ndarray, max_lag: int = 0
+) -> float:
+    """Maximum Pearson correlation over the lag range."""
+    if max_lag == 0:
+        return pearson_correlation(series_a, series_b)
+    return float(np.max(cross_correlation_lags(series_a, series_b, max_lag)))

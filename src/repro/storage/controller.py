@@ -1,0 +1,214 @@
+"""The storage controller (SC PE): buffering, layout, and retrieval.
+
+The SC fronts the NVM with a 24 KB SRAM that (a) buffers writes until a
+full 4 KB page is ready, (b) reorganises the electrode-interleaved ADC
+stream into the chunked per-electrode layout, and (c) holds metadata
+registers (e.g. the last written page) to speed up recent-data retrieval
+(paper §3.2/3.3).
+
+This controller is functional: signal windows and hash batches round-trip
+bit-exactly through the NVM device model, while the latency/energy books
+are kept using the paper's calibrated costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.layout import (
+    CHUNKED_READ_MS_PER_WINDOW,
+    CHUNKED_WRITE_MS_PER_WINDOW,
+)
+from repro.storage.nvm import NVMDevice, PAGE_BYTES
+from repro.storage.partitions import PartitionTable
+
+#: SC SRAM buffer size (paper §5: sized to 24 KB from the NVSim numbers).
+SC_BUFFER_BYTES = 24 * 1024
+
+#: SC PE access latency: 0.03 ms with the NVM available, 0.04 ms when busy.
+SC_LATENCY_FREE_MS = 0.03
+SC_LATENCY_BUSY_MS = 0.04
+
+
+@dataclass
+class _StoredObject:
+    address: int
+    length: int
+
+
+@dataclass
+class StorageController:
+    """One node's storage controller plus its NVM device."""
+
+    device: NVMDevice = field(default_factory=NVMDevice)
+    table: PartitionTable = field(default=None)  # type: ignore[assignment]
+    #: accumulated SC + layout latency (ms) since reset
+    busy_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.table is None:
+            self.table = PartitionTable(self.device.capacity_bytes)
+        self._buffer: bytearray = bytearray()
+        self._buffer_partition: str | None = None
+        self._windows: dict[tuple[int, int], _StoredObject] = {}
+        self._hashes: dict[int, _StoredObject] = {}
+        self._hash_times: list[float] = []
+        self._hash_meta: dict[int, tuple[float, int, int]] = {}
+        self._templates: dict[str, _StoredObject] = {}
+        self._next_page: dict[str, int] = {}
+        self.last_written_page: int | None = None  # the metadata register
+
+    # -- low-level page append ----------------------------------------------------
+
+    def _append_bytes(self, partition: str, data: bytes) -> int:
+        """Write ``data`` into ``partition`` page by page; returns address."""
+        part = self.table[partition]
+        address = part.append(len(data))
+        page = address // PAGE_BYTES
+        offset = address % PAGE_BYTES
+        # The device model programs whole pages; fold partial-page appends
+        # through the SRAM buffer (read-merge is free, the SRAM holds it).
+        cursor = 0
+        while cursor < len(data):
+            take = min(PAGE_BYTES - offset, len(data) - cursor)
+            chunk = data[cursor : cursor + take]
+            existing = self.device._pages.get(page)
+            if page in self.device._programmed:
+                merged = bytearray(existing or b"\xff" * PAGE_BYTES)
+                merged[offset : offset + take] = chunk
+                # model in-place page update as erase-free buffer merge
+                self.device._pages[page] = bytes(merged)
+                self.device.stats.page_writes += 1
+                self.device.stats.busy_ms += 0.350
+                self.device.stats.dynamic_energy_nj += 1374.0
+            else:
+                padded = bytearray(b"\xff" * PAGE_BYTES)
+                padded[offset : offset + take] = chunk
+                self.device.program_page(page, bytes(padded))
+            self.last_written_page = page
+            cursor += take
+            page += 1
+            offset = 0
+        return address
+
+    def _read_bytes(self, address: int, length: int) -> bytes:
+        page = address // PAGE_BYTES
+        offset = address % PAGE_BYTES
+        out = bytearray()
+        while length > 0:
+            take = min(PAGE_BYTES - offset, length)
+            aligned_offset = offset - offset % 8
+            aligned_len = -(-(offset + take - aligned_offset) // 8) * 8
+            aligned_len = min(aligned_len, PAGE_BYTES - aligned_offset)
+            data = self.device.read(page, aligned_offset, aligned_len)
+            out += data[offset - aligned_offset : offset - aligned_offset + take]
+            length -= take
+            page += 1
+            offset = 0
+        return bytes(out)
+
+    # -- signal windows -------------------------------------------------------------
+
+    def store_window(
+        self, electrode: int, window_index: int, samples: np.ndarray
+    ) -> None:
+        """Persist one electrode-window (int16 samples) in chunked layout."""
+        samples = np.asarray(samples)
+        if samples.ndim != 1:
+            raise StorageError("expected a 1-D sample window")
+        data = samples.astype("<i2").tobytes()
+        if len(data) > SC_BUFFER_BYTES:
+            raise StorageError("window larger than the SC write buffer")
+        address = self._append_bytes("signals", data)
+        self._windows[(electrode, window_index)] = _StoredObject(address, len(data))
+        self.busy_ms += SC_LATENCY_FREE_MS + CHUNKED_WRITE_MS_PER_WINDOW
+
+    def store_channel_windows(
+        self, window_index: int, windows: np.ndarray
+    ) -> None:
+        """Persist one window per electrode from ``(channels, samples)``."""
+        windows = np.asarray(windows)
+        if windows.ndim != 2:
+            raise StorageError("expected (channels, samples)")
+        for electrode, row in enumerate(windows):
+            self.store_window(electrode, window_index, row)
+
+    def read_window(self, electrode: int, window_index: int) -> np.ndarray:
+        """Retrieve a stored electrode-window."""
+        try:
+            obj = self._windows[(electrode, window_index)]
+        except KeyError:
+            raise StorageError(
+                f"no stored window (electrode={electrode}, index={window_index})"
+            ) from None
+        data = self._read_bytes(obj.address, obj.length)
+        self.busy_ms += SC_LATENCY_FREE_MS + CHUNKED_READ_MS_PER_WINDOW
+        return np.frombuffer(data, dtype="<i2").astype(np.int64)
+
+    def has_window(self, electrode: int, window_index: int) -> bool:
+        return (electrode, window_index) in self._windows
+
+    # -- hashes ----------------------------------------------------------------------
+
+    def store_hash_batch(
+        self, window_index: int, time_ms: float, signatures: list[tuple[int, ...]]
+    ) -> None:
+        """Persist one window's hashes for all electrodes."""
+        if not signatures:
+            raise StorageError("empty hash batch")
+        n_components = len(signatures[0])
+        if any(len(sig) != n_components for sig in signatures):
+            raise StorageError("mixed signature widths in one batch")
+        flat = [component for sig in signatures for component in sig]
+        data = np.asarray(flat, dtype="<u2").tobytes()
+        address = self._append_bytes("hashes", data)
+        self._hashes[window_index] = _StoredObject(address, len(data))
+        self._hash_meta[window_index] = (time_ms, len(signatures), n_components)
+        self._hash_times.append(time_ms)
+        self.busy_ms += SC_LATENCY_FREE_MS
+
+    def read_hash_batch(self, window_index: int) -> list[tuple[int, ...]]:
+        try:
+            obj = self._hashes[window_index]
+            _, n_signatures, n_components = self._hash_meta[window_index]
+        except KeyError:
+            raise StorageError(f"no stored hashes for window {window_index}") from None
+        data = self._read_bytes(obj.address, obj.length)
+        flat = np.frombuffer(data, dtype="<u2")
+        self.busy_ms += SC_LATENCY_FREE_MS
+        return [
+            tuple(int(x) for x in flat[i * n_components : (i + 1) * n_components])
+            for i in range(n_signatures)
+        ]
+
+    def recent_hash_windows(self, now_ms: float, horizon_ms: float) -> list[int]:
+        """Window indexes whose hashes fall in ``[now - horizon, now]``."""
+        return [
+            index
+            for index, (time_ms, _, _) in self._hash_meta.items()
+            if now_ms - horizon_ms <= time_ms <= now_ms
+        ]
+
+    # -- application data (templates, weights) ----------------------------------------
+
+    def store_appdata(self, key: str, data: bytes) -> None:
+        """Persist a named application object (spike template, weights)."""
+        if not data:
+            raise StorageError("refusing to store an empty object")
+        address = self._append_bytes("appdata", data)
+        self._templates[key] = _StoredObject(address, len(data))
+        self.busy_ms += SC_LATENCY_FREE_MS
+
+    def read_appdata(self, key: str) -> bytes:
+        try:
+            obj = self._templates[key]
+        except KeyError:
+            raise StorageError(f"no stored object {key!r}") from None
+        self.busy_ms += SC_LATENCY_FREE_MS
+        return self._read_bytes(obj.address, obj.length)
+
+    def appdata_keys(self) -> list[str]:
+        return sorted(self._templates)

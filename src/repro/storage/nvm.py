@@ -1,0 +1,156 @@
+"""The per-implant NVM device model (SLC NAND, NVSim-calibrated).
+
+Geometry and timing follow the paper's §5: 4 KB pages, 1 MB blocks, an
+operation reads 8 bytes, writes a page, or erases a block; SLC NAND erase
+takes 1.5 ms, page program 350 us; NVSim estimates 0.26 mW leakage and
+918.809 / 1374 nJ dynamic energy per page read / write.
+
+The device is functional (bytes in, bytes out) *and* metered (latency and
+energy accounting), because both the applications and the scheduler need
+it: applications store and retrieve real signals; the scheduler needs the
+bandwidth numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+#: Device geometry (paper §5).
+PAGE_BYTES = 4 * 1024
+BLOCK_BYTES = 1024 * 1024
+PAGES_PER_BLOCK = BLOCK_BYTES // PAGE_BYTES
+READ_UNIT_BYTES = 8
+
+#: Timing (paper §5 / industrial SLC NAND datasheets).
+ERASE_MS = 1.5
+PROGRAM_MS = 0.350
+#: SLC NAND page read-to-register time (tR).
+READ_PAGE_MS = 0.025
+
+#: NVSim energy estimates (paper §5).
+LEAKAGE_MW = 0.26
+READ_NJ_PER_PAGE = 918.809
+WRITE_NJ_PER_PAGE = 1374.0
+
+#: Default capacity: the paper integrates 128 GB per node.  The functional
+#: model allocates lazily, so the configured capacity costs no memory.
+DEFAULT_CAPACITY_BYTES = 128 * 1024**3
+
+
+@dataclass
+class NVMStats:
+    """Operation counters and accounting for one device."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    block_erases: int = 0
+    busy_ms: float = 0.0
+    dynamic_energy_nj: float = 0.0
+
+    @property
+    def dynamic_energy_mj(self) -> float:
+        return self.dynamic_energy_nj / 1e6
+
+
+@dataclass
+class NVMDevice:
+    """A functional, metered NAND flash device.
+
+    Pages must be erased (block-wise) before programming; reads address
+    any 8-byte-aligned range within a programmed page.  Contents of
+    unprogrammed pages read as 0xFF, like real NAND.
+    """
+
+    capacity_bytes: int = DEFAULT_CAPACITY_BYTES
+    stats: NVMStats = field(default_factory=NVMStats)
+    _pages: dict[int, bytes] = field(default_factory=dict)
+    _programmed: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < BLOCK_BYTES:
+            raise StorageError("capacity must be at least one block")
+        if self.capacity_bytes % BLOCK_BYTES:
+            raise StorageError("capacity must be a whole number of blocks")
+
+    # -- geometry helpers ---------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        return self.capacity_bytes // PAGE_BYTES
+
+    @property
+    def n_blocks(self) -> int:
+        return self.capacity_bytes // BLOCK_BYTES
+
+    def _check_page(self, page_index: int) -> None:
+        if not 0 <= page_index < self.n_pages:
+            raise StorageError(f"page {page_index} out of range")
+
+    # -- operations -----------------------------------------------------------------
+
+    def erase_block(self, block_index: int) -> None:
+        """Erase one block; its pages become programmable again."""
+        if not 0 <= block_index < self.n_blocks:
+            raise StorageError(f"block {block_index} out of range")
+        first = block_index * PAGES_PER_BLOCK
+        for page in range(first, first + PAGES_PER_BLOCK):
+            self._pages.pop(page, None)
+            self._programmed.discard(page)
+        self.stats.block_erases += 1
+        self.stats.busy_ms += ERASE_MS
+        # erase energy folded into the write figure, as NVSim reports
+
+    def program_page(self, page_index: int, data: bytes) -> None:
+        """Program one full page (must be erased)."""
+        self._check_page(page_index)
+        if page_index in self._programmed:
+            raise StorageError(
+                f"page {page_index} already programmed; erase its block first"
+            )
+        if len(data) > PAGE_BYTES:
+            raise StorageError(f"page data {len(data)} B exceeds {PAGE_BYTES} B")
+        self._pages[page_index] = data.ljust(PAGE_BYTES, b"\xff")
+        self._programmed.add(page_index)
+        self.stats.page_writes += 1
+        self.stats.busy_ms += PROGRAM_MS
+        self.stats.dynamic_energy_nj += WRITE_NJ_PER_PAGE
+
+    def read(self, page_index: int, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` within one page.
+
+        Offset and length must respect the 8-byte read unit.
+        """
+        self._check_page(page_index)
+        if offset % READ_UNIT_BYTES or length % READ_UNIT_BYTES:
+            raise StorageError(
+                f"reads are {READ_UNIT_BYTES}-byte aligned "
+                f"(offset={offset}, length={length})"
+            )
+        if offset < 0 or length <= 0 or offset + length > PAGE_BYTES:
+            raise StorageError("read range outside the page")
+        page = self._pages.get(page_index, b"\xff" * PAGE_BYTES)
+        self.stats.page_reads += 1
+        self.stats.busy_ms += READ_PAGE_MS
+        self.stats.dynamic_energy_nj += (
+            READ_NJ_PER_PAGE * length / PAGE_BYTES
+        )
+        return page[offset : offset + length]
+
+    def read_page(self, page_index: int) -> bytes:
+        """Read one full page."""
+        return self.read(page_index, 0, PAGE_BYTES)
+
+    # -- derived rates ------------------------------------------------------------
+
+    @staticmethod
+    def read_bandwidth_mbps() -> float:
+        """Sequential read bandwidth of the device (Mbps)."""
+        return 8 * PAGE_BYTES / (READ_PAGE_MS * 1e3)
+
+    @staticmethod
+    def write_bandwidth_mbps() -> float:
+        """Sustained program bandwidth, amortising one erase per block."""
+        ms_per_page = PROGRAM_MS + ERASE_MS / PAGES_PER_BLOCK
+        return 8 * PAGE_BYTES / (ms_per_page * 1e3)

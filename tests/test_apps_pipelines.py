@@ -1,0 +1,85 @@
+"""Tests for the deployed §4 pipelines (Figs. 5-7 on the fabric)."""
+
+import pytest
+
+from repro.apps.pipelines import (
+    all_pipelines,
+    movement_kalman_pipeline,
+    movement_nn_pipeline,
+    movement_svm_pipeline,
+    seizure_propagation_pipeline,
+    spike_sorting_pipeline,
+)
+from repro.errors import DeadlineExceeded
+from repro.units import NODE_POWER_CAP_MW
+
+
+class TestDeadlines:
+    @pytest.mark.parametrize("name", list(all_pipelines()))
+    def test_every_pipeline_meets_its_deadline(self, name):
+        pipeline = all_pipelines()[name]
+        pipeline.check_deadline()  # must not raise
+
+    def test_seizure_loop_well_inside_10ms(self):
+        pipeline = seizure_propagation_pipeline()
+        assert pipeline.critical_path_ms < 5.0
+
+    def test_spike_sorting_near_paper_latency(self):
+        pipeline = spike_sorting_pipeline()
+        # paper: ~2.5 ms per spike
+        assert 1.5 <= pipeline.critical_path_ms <= 2.5
+
+    def test_kalman_is_the_heaviest_movement_loop(self):
+        kalman = movement_kalman_pipeline().critical_path_ms
+        svm = movement_svm_pipeline().critical_path_ms
+        nn = movement_nn_pipeline().critical_path_ms
+        assert kalman > nn > svm
+
+    def test_deadline_violation_raises(self):
+        pipeline = spike_sorting_pipeline()
+        pipeline.deadline_ms = 0.5
+        with pytest.raises(DeadlineExceeded):
+            pipeline.check_deadline()
+
+
+class TestPowerAndStructure:
+    def test_pipelines_fit_the_power_cap(self):
+        for pipeline in all_pipelines().values():
+            # PE power alone (before ADC/NVM/radio) must sit well under cap
+            assert pipeline.power_mw < NODE_POWER_CAP_MW / 2
+
+    def test_background_stages_not_in_critical_path(self):
+        pipeline = seizure_propagation_pipeline()
+        background = sum(
+            pipeline.stages[s].latency_ms for s in pipeline.background_stages
+        )
+        total = sum(p.latency_ms for p in pipeline.stages.values())
+        assert pipeline.critical_path_ms == pytest.approx(
+            total - background + pipeline.network_ms
+        )
+
+    def test_set_electrodes_scales_power(self):
+        pipeline = movement_svm_pipeline(n_electrodes=96)
+        full = pipeline.power_mw
+        pipeline.set_electrodes(24)
+        assert pipeline.power_mw < full
+
+    def test_fig5_stage_inventory(self):
+        pipeline = seizure_propagation_pipeline()
+        assert set(pipeline.stages) == {
+            "detect", "hash", "transmit", "check", "compare"
+        }
+        assert pipeline.stages["compare"].pe_names[0] == "DTW"
+
+    def test_fig6b_uses_nvm_backed_inversion(self):
+        pipeline = movement_kalman_pipeline()
+        chain = pipeline.stages["kalman"].pe_names
+        assert "SC" in chain and "INV" in chain
+        # SC precedes INV: the matrix streams from the NVM
+        assert chain.index("SC") < chain.index("INV")
+
+    def test_fig7_is_fully_local(self):
+        pipeline = spike_sorting_pipeline()
+        assert pipeline.network_ms == 0.0
+        for stage in pipeline.stages.values():
+            assert "NPACK" not in stage.pe_names

@@ -1,0 +1,129 @@
+"""Tests for interactive queries: cost model and functional engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.queries import (
+    QueryCostModel,
+    QueryEngine,
+    QuerySpec,
+    query_data_bytes,
+)
+from repro.errors import ConfigurationError
+from repro.hashing.lsh import LSHFamily
+from repro.storage.controller import StorageController
+from repro.storage.nvm import NVMDevice
+
+
+class TestQuerySpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuerySpec("q9", 100.0)
+        with pytest.raises(ConfigurationError):
+            QuerySpec("q1", -1.0)
+        with pytest.raises(ConfigurationError):
+            QuerySpec("q1", 100.0, match_fraction=1.5)
+
+
+class TestCostModel:
+    def test_paper_data_sizes(self):
+        # 110 ms over 11 nodes of 96 electrodes is the paper's ~7 MB
+        assert query_data_bytes(110.0, 11) / 1e6 == pytest.approx(7.0, rel=0.01)
+        assert query_data_bytes(1000.0, 11) / 1e6 == pytest.approx(63.4, rel=0.01)
+
+    def test_q1_small_match_hits_9_qps(self):
+        model = QueryCostModel(n_nodes=11)
+        cost = model.cost(QuerySpec("q1", 110.0, 0.05))
+        assert 7.0 <= cost.queries_per_second <= 12.0  # paper: ~9 QPS
+
+    def test_q3_full_scan_near_0_8_qps(self):
+        model = QueryCostModel(n_nodes=11)
+        cost = model.cost(QuerySpec("q3", 110.0))
+        assert cost.queries_per_second == pytest.approx(0.8, abs=0.15)
+        assert cost.latency_ms == pytest.approx(1210.0, rel=0.1)
+
+    def test_qps_decreases_with_match_fraction(self):
+        model = QueryCostModel(n_nodes=11)
+        qps = [
+            model.cost(QuerySpec("q1", 110.0, f)).queries_per_second
+            for f in (0.05, 0.5, 1.0)
+        ]
+        assert qps[0] > qps[1] > qps[2]
+
+    def test_qps_decreases_with_time_range(self):
+        model = QueryCostModel(n_nodes=11)
+        short = model.cost(QuerySpec("q2", 110.0, 0.05)).queries_per_second
+        long = model.cost(QuerySpec("q2", 1000.0, 0.05)).queries_per_second
+        assert short > long
+        assert long >= 0.8  # the paper: still ~1 QPS over 1 s of data
+
+    def test_q2_dtw_slightly_slower_much_hungrier(self):
+        """Paper §6.4: DTW Q2 is 8 vs 9 QPS but ~15 mW vs ~3.6 mW."""
+        model = QueryCostModel(n_nodes=11)
+        hash_cost = model.cost(QuerySpec("q2", 110.0, 0.05, use_hash=True))
+        dtw_cost = model.cost(QuerySpec("q2", 110.0, 0.05, use_hash=False))
+        assert dtw_cost.queries_per_second < hash_cost.queries_per_second
+        assert dtw_cost.power_mw > 3 * hash_cost.power_mw
+        assert hash_cost.power_mw < 5.0
+
+    def test_transmit_dominates_latency(self):
+        model = QueryCostModel(n_nodes=11)
+        cost = model.cost(QuerySpec("q3", 1000.0))
+        assert cost.transmit_ms > 0.9 * cost.latency_ms
+
+
+class TestQueryEngine:
+    @pytest.fixture()
+    def engine(self, rng):
+        lsh = LSHFamily.for_measure("dtw")
+        controllers = []
+        # integer-scaled signals: windows are stored as 16-bit samples
+        template = (rng.normal(size=120).cumsum() * 1000).round()
+        for node in range(2):
+            controller = StorageController(
+                device=NVMDevice(capacity_bytes=16 * 1024 * 1024)
+            )
+            for w in range(4):
+                if node == 0 and w == 1:
+                    window = template + (10 * rng.normal(size=120)).round()
+                else:
+                    window = (rng.normal(size=120).cumsum() * 1000).round()
+                controller.store_window(0, w, window.astype(int))
+            controllers.append(controller)
+        engine = QueryEngine(
+            controllers, lsh,
+            seizure_flags={0: {1, 2}, 1: set()},
+            dtw_threshold=20_000.0,
+        )
+        return engine, template
+
+    def test_q3_returns_everything_in_range(self, engine):
+        eng, _ = engine
+        rows = eng.execute(QuerySpec("q3", 16.0), window_range=(0, 4))
+        assert len(rows) == 8
+
+    def test_q1_filters_by_flags(self, engine):
+        eng, _ = engine
+        rows = eng.execute(QuerySpec("q1", 16.0), window_range=(0, 4))
+        assert {(r.node, r.window_index) for r in rows} == {(0, 1), (0, 2)}
+
+    def test_q2_hash_finds_template(self, engine):
+        eng, template = engine
+        rows = eng.execute(
+            QuerySpec("q2", 16.0), window_range=(0, 4), template=template
+        )
+        assert any(r.node == 0 and r.window_index == 1 for r in rows)
+
+    def test_q2_needs_template(self, engine):
+        eng, _ = engine
+        with pytest.raises(ConfigurationError):
+            eng.execute(QuerySpec("q2", 16.0), window_range=(0, 4))
+
+    def test_q2_exact_dtw_mode(self, engine):
+        eng, template = engine
+        rows = eng.execute(
+            QuerySpec("q2", 16.0, use_hash=False),
+            window_range=(0, 4),
+            template=template,
+        )
+        assert any(r.node == 0 and r.window_index == 1 for r in rows)

@@ -1,0 +1,126 @@
+"""Tests for the stimulation subsystem (safety, waveforms, closed loop)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.seizure import PropagationEvent
+from repro.apps.stimulation import (
+    REFRACTORY_MS,
+    SHANNON_K_LIMIT,
+    StimulationProtocol,
+    Stimulator,
+    check_safety,
+    stimulate_from_confirmations,
+    synthesize_waveform,
+)
+from repro.errors import ConfigurationError
+
+
+class TestProtocol:
+    def test_charge_per_phase(self):
+        protocol = StimulationProtocol(amplitude_ua=100.0, phase_us=200.0)
+        assert protocol.charge_per_phase_uc == pytest.approx(0.02)
+
+    def test_default_protocol_is_safe(self):
+        assert check_safety(StimulationProtocol())
+
+    def test_aggressive_protocol_unsafe(self):
+        # 10 mA x 1 ms on a micro-electrode is far over the Shannon line
+        protocol = StimulationProtocol(amplitude_ua=10_000.0, phase_us=1000.0,
+                                       frequency_hz=100.0)
+        assert not check_safety(protocol)
+        assert protocol.shannon_k() > SHANNON_K_LIMIT
+
+    def test_larger_electrode_relaxes_limit(self):
+        protocol = StimulationProtocol(amplitude_ua=1000.0, phase_us=400.0)
+        assert protocol.shannon_k(1e-2) < protocol.shannon_k(1e-4)
+
+    def test_duty_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StimulationProtocol(phase_us=4000.0, frequency_hz=200.0)
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StimulationProtocol(amplitude_ua=-5.0)
+
+
+class TestWaveform:
+    def test_charge_balanced(self):
+        waveform = synthesize_waveform(StimulationProtocol())
+        assert abs(waveform.sum()) < 1e-9
+
+    def test_biphasic_shape(self):
+        waveform = synthesize_waveform(StimulationProtocol())
+        first_nonzero = np.flatnonzero(waveform)[0]
+        assert waveform[first_nonzero] < 0  # cathodic first
+
+    def test_pulse_count(self):
+        protocol = StimulationProtocol(frequency_hz=100.0, train_ms=50.0)
+        waveform = synthesize_waveform(protocol, fs_hz=30000)
+        # rising edges of the cathodic phase, plus one if it starts at t=0
+        edges = np.count_nonzero(np.diff((waveform < 0).astype(int)) == 1)
+        edges += int(waveform[0] < 0)
+        assert edges == protocol.n_pulses
+
+    def test_pulse_must_fit_period(self):
+        # at 1 kHz sampling a 300 us phase rounds to one sample but the
+        # 1 kHz pulse period is a single sample: the biphase cannot fit
+        protocol = StimulationProtocol(phase_us=300.0, frequency_hz=1000.0)
+        with pytest.raises(ConfigurationError):
+            synthesize_waveform(protocol, fs_hz=1000)
+
+
+class TestStimulator:
+    def test_refractory_enforced(self):
+        stimulator = Stimulator(0, 4)
+        assert stimulator.stimulate(1, 0.0) is not None
+        assert stimulator.stimulate(1, REFRACTORY_MS / 2) is None
+        assert stimulator.stimulate(1, REFRACTORY_MS + 1) is not None
+
+    def test_refractory_is_per_electrode(self):
+        stimulator = Stimulator(0, 4)
+        stimulator.stimulate(0, 0.0)
+        assert stimulator.stimulate(1, 1.0) is not None
+
+    def test_unsafe_protocol_rejected(self):
+        stimulator = Stimulator(0, 4)
+        bad = StimulationProtocol(amplitude_ua=10_000.0, phase_us=1000.0,
+                                  frequency_hz=100.0)
+        with pytest.raises(ConfigurationError):
+            stimulator.stimulate(0, 0.0, bad)
+
+    def test_bad_electrode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stimulator(0, 4).stimulate(9, 0.0)
+
+    def test_energy_accounting(self):
+        stimulator = Stimulator(0, 4)
+        stimulator.stimulate(0, 0.0)
+        # 0.6 mW DAC x 100 ms train
+        assert stimulator.energy_mj() == pytest.approx(0.06)
+
+    def test_duty_cycle(self):
+        stimulator = Stimulator(0, 4)
+        stimulator.stimulate(0, 0.0)
+        assert stimulator.duty_cycle(1000.0) == pytest.approx(0.1)
+
+
+class TestClosedLoop:
+    def test_confirmations_drive_stimulation(self):
+        confirmations = [
+            PropagationEvent(0, 1, 10, 5.0),
+            PropagationEvent(0, 2, 10, 5.0),
+            PropagationEvent(0, 1, 11, 5.0),  # within node 1's refractory
+        ]
+        stimulators = {1: Stimulator(1, 4), 2: Stimulator(2, 4)}
+        executed = stimulate_from_confirmations(
+            confirmations, stimulators, window_ms=4.0
+        )
+        assert len(executed) == 2
+        assert {e.node for e in executed} == {1, 2}
+
+    def test_missing_stimulator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stimulate_from_confirmations(
+                [PropagationEvent(0, 9, 0, 1.0)], {}, window_ms=4.0
+            )

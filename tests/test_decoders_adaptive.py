@@ -1,0 +1,113 @@
+"""Tests for the extension decoders: adaptive Kalman and deep networks."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.decoders.adaptive import (
+    AdaptiveKalmanFilter,
+    DeepDecoder,
+    observation_drift,
+    train_deep_decoder,
+)
+from repro.decoders.kalman import KalmanFilter, fit_kalman
+from repro.errors import ConfigurationError
+
+
+def _drifting_session(rng, n_steps=600, n_obs=8, drift=0.6):
+    states = np.zeros((n_steps, 4))
+    for t in range(1, n_steps):
+        states[t, 2:] = 0.95 * states[t - 1, 2:] + 0.1 * rng.standard_normal(2)
+        states[t, :2] = states[t - 1, :2] + states[t - 1, 2:]
+    h0 = rng.normal(size=(n_obs, 4))
+    obs = np.empty((n_steps, n_obs))
+    for t in range(n_steps):
+        gain = 1.0 + drift * t / n_steps
+        obs[t] = (h0 * gain) @ states[t] + 0.1 * rng.standard_normal(n_obs)
+    return states, obs
+
+
+class TestAdaptiveKalman:
+    def test_beats_static_filter_under_drift(self, rng):
+        states, obs = _drifting_session(rng)
+        model = fit_kalman(states[:150], obs[:150])
+        static = KalmanFilter(copy.deepcopy(model))
+        adaptive = AdaptiveKalmanFilter(copy.deepcopy(model))
+        static_err = adaptive_err = 0.0
+        for t in range(150, states.shape[0]):
+            es = static.step(obs[t])
+            ea = adaptive.step_supervised(obs[t], states[t])
+            static_err += float(np.sum((es[2:] - states[t, 2:]) ** 2))
+            adaptive_err += float(np.sum((ea[2:] - states[t, 2:]) ** 2))
+        assert adaptive_err < static_err / 3
+
+    def test_h_tracks_toward_truth(self, rng):
+        states, obs = _drifting_session(rng)
+        model = fit_kalman(states[:150], obs[:150])
+        before = copy.deepcopy(model)
+        adaptive = AdaptiveKalmanFilter(model)
+        for t in range(150, 500):
+            adaptive.step_supervised(obs[t], states[t])
+        assert observation_drift(before, adaptive.model) > 0.1
+
+    def test_no_drift_means_little_adaptation(self, rng):
+        states, obs = _drifting_session(rng, drift=0.0)
+        model = fit_kalman(states[:200], obs[:200])
+        before = copy.deepcopy(model)
+        adaptive = AdaptiveKalmanFilter(model, forgetting=1.0)
+        for t in range(200, 400):
+            adaptive.step_supervised(obs[t], states[t])
+        assert observation_drift(before, adaptive.model) < 0.8
+
+    def test_bad_forgetting_rejected(self, rng):
+        states, obs = _drifting_session(rng, n_steps=100)
+        model = fit_kalman(states, obs)
+        with pytest.raises(ConfigurationError):
+            AdaptiveKalmanFilter(model, forgetting=0.5)
+
+    def test_bad_supervision_shapes_rejected(self, rng):
+        states, obs = _drifting_session(rng, n_steps=100)
+        adaptive = AdaptiveKalmanFilter(fit_kalman(states, obs))
+        with pytest.raises(ConfigurationError):
+            adaptive.adapt(np.zeros(3), np.zeros(4))
+
+
+class TestDeepDecoder:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(400, 24))
+        y = np.tanh(x[:, :4].sum(1, keepdims=True))
+        return train_deep_decoder(x, y, hidden=(48, 24), epochs=300), x, y
+
+    def test_learns_a_nonlinear_target(self, trained):
+        decoder, x, y = trained
+        pred = np.stack([decoder.forward(row) for row in x[:100]])
+        assert np.corrcoef(pred[:, 0], y[:100, 0])[0, 1] > 0.6
+
+    def test_distributed_equals_centralised(self, trained):
+        decoder, x, _ = trained
+        for row in x[:10]:
+            parts = [row[:8], row[8:16], row[16:]]
+            assert np.allclose(
+                decoder.distributed_forward(parts), decoder.forward(row),
+                atol=1e-10,
+            )
+
+    def test_layer_count(self, trained):
+        decoder, _, _ = trained
+        assert decoder.n_layers == 3  # 2 hidden + output
+
+    def test_structure_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeepDecoder([np.zeros((4, 8))], [np.zeros(4)])  # too shallow
+        with pytest.raises(ConfigurationError):
+            DeepDecoder(
+                [np.zeros((4, 8)), np.zeros((2, 5))],  # width mismatch
+                [np.zeros(4), np.zeros(2)],
+            )
+
+    def test_training_validation(self):
+        with pytest.raises(ConfigurationError):
+            train_deep_decoder(np.zeros((10, 3)), np.zeros((10, 1)), hidden=())

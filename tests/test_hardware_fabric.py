@@ -1,0 +1,142 @@
+"""Tests for the fabric, pipelines, and the microcontroller model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineExceeded, FabricError, PowerBudgetExceeded
+from repro.hardware.fabric import Fabric
+from repro.hardware.microcontroller import Microcontroller, SOFTWARE_ROUTINES
+from repro.hardware.pe import ProcessingElement
+from repro.hardware.pipeline import Pipeline, chain
+
+
+class TestPipeline:
+    def test_latency_is_sum_of_stages(self):
+        pipe = chain(
+            "detect",
+            ProcessingElement.from_name("FFT"),
+            ProcessingElement.from_name("BBF"),
+            ProcessingElement.from_name("SVM"),
+        )
+        assert pipe.latency_ms == pytest.approx(4.0 + 4.0 + 1.67)
+
+    def test_power_rolls_up(self):
+        pipe = chain(
+            "p",
+            ProcessingElement.from_name("THR", n_electrodes=10),
+            ProcessingElement.from_name("NEO", n_electrodes=10),
+        )
+        expected_static = (2.00 + 12.00) / 1e3
+        expected_dyn = (0.11 + 0.03) * 10 / 1e3
+        assert pipe.power_mw == pytest.approx(expected_static + expected_dyn)
+
+    def test_set_electrodes_updates_all_stages(self):
+        pipe = chain(
+            "p",
+            ProcessingElement.from_name("FFT"),
+            ProcessingElement.from_name("SVM"),
+        )
+        pipe.set_electrodes(42)
+        assert all(s.pe.n_electrodes == 42 for s in pipe.stages)
+
+    def test_latency_override_for_data_dependent_pe(self):
+        pipe = Pipeline("z").add(
+            ProcessingElement.from_name("LZ"), latency_override_ms=1.25
+        )
+        assert pipe.latency_ms == 1.25
+
+    def test_deadline_check(self):
+        pipe = chain("p", ProcessingElement.from_name("FFT"))
+        pipe.check_deadline(5.0)
+        with pytest.raises(DeadlineExceeded):
+            pipe.check_deadline(1.0)
+
+    def test_power_check(self):
+        pipe = chain("p", ProcessingElement.from_name("XCOR", n_electrodes=200))
+        with pytest.raises(PowerBudgetExceeded):
+            pipe.check_power(0.001)
+
+    def test_negative_electrodes_rejected(self):
+        pipe = chain("p", ProcessingElement.from_name("FFT"))
+        with pytest.raises(ConfigurationError):
+            pipe.set_electrodes(-1)
+
+
+class TestFabric:
+    def test_wire_chain_builds_pipeline(self):
+        fabric = Fabric()
+        pipe = fabric.wire_chain("detect", ["FFT", "BBF", "SVM"])
+        assert pipe.pe_names == ["FFT", "BBF", "SVM"]
+        assert len(fabric.pes) == 3
+
+    def test_duplicate_instances_get_distinct_ids(self):
+        fabric = Fabric()
+        a = fabric.add_pe("BMUL")
+        b = fabric.add_pe("BMUL")
+        assert a != b
+
+    def test_cycle_rejected(self):
+        fabric = Fabric()
+        a = fabric.add_pe("GATE")
+        b = fabric.add_pe("FFT")
+        fabric.connect(a, b)
+        with pytest.raises(FabricError):
+            fabric.connect(b, a)
+
+    def test_self_loop_rejected(self):
+        fabric = Fabric()
+        a = fabric.add_pe("GATE")
+        with pytest.raises(FabricError):
+            fabric.connect(a, a)
+
+    def test_pipeline_requires_wiring(self):
+        fabric = Fabric()
+        a = fabric.add_pe("GATE")
+        b = fabric.add_pe("FFT")
+        with pytest.raises(FabricError):
+            fabric.pipeline("p", [a, b])
+
+    def test_unknown_endpoint_rejected(self):
+        fabric = Fabric()
+        a = fabric.add_pe("GATE")
+        with pytest.raises(FabricError):
+            fabric.connect(a, "GHOST")
+
+    def test_topological_order_respects_edges(self):
+        fabric = Fabric()
+        pipe = fabric.wire_chain("p", ["GATE", "FFT", "SVM"])
+        order = fabric.topological_order()
+        assert order.index("GATE") < order.index("FFT") < order.index("SVM")
+
+    def test_area_rollup(self):
+        fabric = Fabric()
+        fabric.wire_chain("p", ["ADD", "SUB"])
+        assert fabric.area_kge == pytest.approx(68 + 69)
+
+
+class TestMicrocontroller:
+    def test_run_accumulates_busy_time(self):
+        mc = Microcontroller()
+        elapsed = mc.run("mac", 1000)
+        assert elapsed > 0
+        assert mc.busy_ms == pytest.approx(elapsed)
+
+    def test_throughput_matches_cycle_cost(self):
+        mc = Microcontroller()
+        rate = mc.throughput_items_per_s("mac")
+        cycles = SOFTWARE_ROUTINES["mac"].cycles_per_item
+        assert rate == pytest.approx(20e6 / cycles)
+
+    def test_unknown_routine_rejected(self):
+        mc = Microcontroller()
+        with pytest.raises(ConfigurationError):
+            mc.run("fly", 1)
+
+    def test_energy_scales_with_time(self):
+        mc = Microcontroller()
+        assert mc.energy_mj(1000.0) == pytest.approx(mc.active_power_mw)
+
+    def test_reset_accounting(self):
+        mc = Microcontroller()
+        mc.run("sntp", 5)
+        mc.reset_accounting()
+        assert mc.busy_ms == 0.0

@@ -1,0 +1,87 @@
+"""Tests for PE instances, clock domains, and power scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.pe import ClockDomain, ProcessingElement
+
+
+class TestClockDomain:
+    def test_divider_scales_frequency(self):
+        clock = ClockDomain(max_freq_mhz=16.0, divider=4)
+        assert clock.freq_mhz == 4.0
+
+    def test_slowest_divider_meets_requirement(self):
+        clock = ClockDomain(max_freq_mhz=50.0)
+        divider = clock.slowest_divider_for(7.0)
+        assert divider == 7
+        assert 50.0 / divider >= 7.0
+        assert 50.0 / (divider + 1) < 7.0
+
+    def test_requirement_above_max_rejected(self):
+        clock = ClockDomain(max_freq_mhz=3.0)
+        with pytest.raises(ConfigurationError):
+            clock.slowest_divider_for(3.5)
+
+    @pytest.mark.parametrize("divider", [0, -1, 1.5])
+    def test_bad_divider_rejected(self, divider):
+        with pytest.raises(ConfigurationError):
+            ClockDomain(max_freq_mhz=10.0, divider=divider)
+
+
+class TestProcessingElement:
+    def test_dynamic_power_scales_with_electrodes(self):
+        pe = ProcessingElement.from_name("FFT", n_electrodes=96)
+        assert pe.dynamic_uw == pytest.approx(9.02 * 96)
+        pe.n_electrodes = 48
+        assert pe.dynamic_uw == pytest.approx(9.02 * 48)
+
+    def test_dynamic_power_scales_with_clock(self):
+        pe = ProcessingElement.from_name("FFT", n_electrodes=96)
+        full = pe.dynamic_uw
+        pe.clock.divider = 2
+        assert pe.dynamic_uw == pytest.approx(full / 2)
+
+    def test_static_power_independent_of_clock(self):
+        pe = ProcessingElement.from_name("SVM", n_electrodes=10)
+        static = pe.static_uw
+        pe.clock.divider = 3
+        assert pe.static_uw == static
+
+    def test_pairwise_power_quadratic(self):
+        pe = ProcessingElement.from_name(
+            "XCOR", n_electrodes=96, pairwise=True, pair_norm=96.0
+        )
+        # at pair_norm channels, per-channel power equals the catalog figure
+        assert pe.dynamic_uw == pytest.approx(44.11 * 96)
+        pe.n_electrodes = 192
+        assert pe.dynamic_uw == pytest.approx(44.11 * 192 * 2)
+
+    def test_total_power_mw(self):
+        pe = ProcessingElement.from_name("THR", n_electrodes=1)
+        assert pe.power_mw == pytest.approx((2.00 + 0.11) / 1e3)
+
+    def test_latency_from_catalog(self):
+        pe = ProcessingElement.from_name("CCHECK")
+        assert pe.latency_ms == 0.50
+
+    def test_data_dependent_latency_raises(self):
+        pe = ProcessingElement.from_name("LZ")
+        with pytest.raises(ConfigurationError):
+            _ = pe.latency_ms
+
+    def test_tune_for_load_picks_power_optimal_divider(self):
+        pe = ProcessingElement.from_name("DTW", n_electrodes=10)
+        pe.tune_for_load(0.25)
+        assert pe.clock.divider == 4
+        assert pe.freq_mhz >= 50 * 0.25
+
+    @pytest.mark.parametrize("load", [0.0, -0.5, 1.5])
+    def test_tune_for_bad_load_rejected(self, load):
+        pe = ProcessingElement.from_name("DTW")
+        with pytest.raises(ConfigurationError):
+            pe.tune_for_load(load)
+
+    def test_negative_electrodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessingElement.from_name("FFT", n_electrodes=-1)

@@ -1,0 +1,239 @@
+"""Tests for CRC, packets, radios, the BER channel, TDMA, and delivery."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.network.channel import BitErrorChannel, flip_bits
+from repro.network.crc import crc32, verify
+from repro.network.network import WirelessNetwork
+from repro.network.packet import (
+    BROADCAST,
+    MAX_PAYLOAD_BYTES,
+    PACKET_OVERHEAD_BITS,
+    Header,
+    Packet,
+    PayloadKind,
+    packet_airtime_ms,
+    packets_needed,
+)
+from repro.network.radio import (
+    LOW_POWER,
+    RADIO_CATALOG,
+    get_radio,
+    path_loss_db,
+    scale_radio_to_distance,
+)
+from repro.network.tdma import TDMAConfig, TDMASchedule, hash_payload_bytes
+
+
+class TestCRC:
+    @pytest.mark.parametrize(
+        "data", [b"", b"a", b"hello world", bytes(range(256))]
+    )
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_verify(self):
+        assert verify(b"xyz", crc32(b"xyz"))
+        assert not verify(b"xyz", crc32(b"xya"))
+
+    def test_detects_single_bit_flip(self):
+        data = b"neural data payload"
+        corrupted = flip_bits(data, np.array([13]))
+        assert crc32(corrupted) != crc32(data)
+
+
+class TestHeader:
+    def test_pack_unpack_roundtrip(self):
+        header = Header(5, 9, PayloadKind.SIGNAL, 3, 1234, 99999, 240)
+        assert Header.unpack(header.pack()) == header
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Header(64, 0, PayloadKind.HASHES, 0, 0, 0, 0)  # src is 6 bits
+
+    def test_header_is_84_bits_in_11_bytes(self):
+        header = Header(1, 2, PayloadKind.HASHES, 0, 0, 0, 10)
+        assert len(header.pack()) == 11
+
+
+class TestPacket:
+    def test_build_and_integrity(self):
+        packet = Packet.build(1, 2, PayloadKind.HASHES, b"abc")
+        assert packet.intact
+
+    def test_wire_roundtrip(self):
+        packet = Packet.build(3, BROADCAST, PayloadKind.SIGNAL, bytes(range(64)))
+        parsed = Packet.from_wire(packet.to_wire())
+        assert parsed.intact
+        assert parsed.payload == packet.payload
+        assert parsed.header == packet.header
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(NetworkError):
+            Packet.build(0, 1, PayloadKind.SIGNAL, bytes(MAX_PAYLOAD_BYTES + 1))
+
+    def test_wire_bits_accounting(self):
+        packet = Packet.build(0, 1, PayloadKind.HASHES, b"1234")
+        assert packet.wire_bits == PACKET_OVERHEAD_BITS + 32
+
+    def test_airtime(self):
+        # 256 B + overhead at 7 Mbps
+        expected = (PACKET_OVERHEAD_BITS + 2048) / 7000
+        assert packet_airtime_ms(256, 7.0) == pytest.approx(expected)
+
+    def test_packets_needed(self):
+        assert packets_needed(0) == 0
+        assert packets_needed(256) == 1
+        assert packets_needed(257) == 2
+
+
+class TestRadios:
+    def test_table3_values(self):
+        assert LOW_POWER.data_rate_mbps == 7.0
+        assert LOW_POWER.power_mw == 1.721
+        assert LOW_POWER.bit_error_rate == 1e-5
+        assert get_radio("High Perf").power_mw == 6.85
+        assert get_radio("Low Data Rate").data_rate_mbps == 3.5
+        assert len(RADIO_CATALOG) == 4
+
+    def test_airtime_and_energy(self):
+        assert LOW_POWER.airtime_ms(7000) == pytest.approx(1.0)
+        assert LOW_POWER.energy_mj(7000) == pytest.approx(1.721e-3)
+
+    def test_packet_error_rate_monotone_in_size(self):
+        assert LOW_POWER.packet_error_rate(2000) > LOW_POWER.packet_error_rate(100)
+
+    def test_path_loss_increases_with_distance(self):
+        assert path_loss_db(0.4) > path_loss_db(0.2)
+
+    def test_scaling_to_longer_range_needs_more_power(self):
+        scaled = scale_radio_to_distance(LOW_POWER, 0.4)
+        assert scaled.power_mw > LOW_POWER.power_mw
+        # n=3.5 path loss: doubling distance costs 2^3.5x power
+        assert scaled.power_mw / LOW_POWER.power_mw == pytest.approx(
+            2**3.5, rel=1e-6
+        )
+
+    def test_unknown_radio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_radio("warp")
+
+
+class TestChannel:
+    def test_zero_ber_is_transparent(self):
+        channel = BitErrorChannel(0.0)
+        packet = Packet.build(0, 1, PayloadKind.SIGNAL, b"data")
+        received, flips = channel.transmit(packet)
+        assert flips == 0 and received.intact
+
+    def test_high_ber_corrupts(self):
+        channel = BitErrorChannel(0.05, seed=1)
+        packet = Packet.build(0, 1, PayloadKind.SIGNAL, bytes(200))
+        received, flips = channel.transmit(packet)
+        assert flips > 0
+        assert not received.intact
+
+    def test_flip_bits_is_involution(self):
+        data = b"\x00\xff\x0f"
+        positions = np.array([0, 9, 23])
+        assert flip_bits(flip_bits(data, positions), positions) == data
+
+    def test_bad_ber_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitErrorChannel(1.5)
+
+
+class TestTDMA:
+    def test_slot_includes_guard(self):
+        config = TDMAConfig()
+        assert config.slot_ms(256) == pytest.approx(
+            config.packet_airtime_ms(256) + config.guard_ms
+        )
+
+    def test_burst_packetises(self):
+        config = TDMAConfig()
+        one = config.burst_ms(256)
+        two = config.burst_ms(257)
+        assert two > one
+
+    def test_all_to_all_scales_with_nodes(self):
+        config = TDMAConfig()
+        assert config.all_to_all_ms(100, 8) == pytest.approx(
+            8 * config.burst_ms(100)
+        )
+
+    def test_one_to_all_fixed(self):
+        config = TDMAConfig()
+        assert config.one_to_all_ms(100) == config.burst_ms(100)
+
+    def test_effective_rate_below_nominal(self):
+        config = TDMAConfig()
+        assert config.effective_rate_mbps() < config.radio.data_rate_mbps
+
+    def test_round_robin_schedule(self):
+        schedule = TDMASchedule.round_robin(TDMAConfig(), 4, slots_per_node=2)
+        assert len(schedule.slot_owners) == 8
+        assert schedule.slots_for(2) == [4, 5]
+
+    def test_node_share_fair(self):
+        schedule = TDMASchedule.round_robin(TDMAConfig(), 4)
+        shares = [schedule.node_share_mbps(n) for n in range(4)]
+        assert all(s == pytest.approx(shares[0]) for s in shares)
+
+    def test_wait_ms(self):
+        schedule = TDMASchedule.round_robin(TDMAConfig(), 4)
+        assert schedule.wait_ms(0, from_slot=0) == 0.0
+        assert schedule.wait_ms(1, from_slot=0) == pytest.approx(
+            schedule.config.slot_ms()
+        )
+
+    def test_hash_payload_compression(self):
+        assert hash_payload_bytes(96, 1, compression_ratio=2.0) == 48
+
+
+class TestWirelessNetwork:
+    def _build(self, ber=0.0):
+        from dataclasses import replace
+
+        radio = replace(LOW_POWER, bit_error_rate=ber)
+        net = WirelessNetwork(tdma=TDMAConfig(radio=radio), seed=3)
+        inboxes = {0: [], 1: [], 2: []}
+        for node in inboxes:
+            net.register(node, lambda p, n=node: inboxes[n].append(p))
+        return net, inboxes
+
+    def test_unicast(self):
+        net, inboxes = self._build()
+        net.send(Packet.build(0, 1, PayloadKind.SIGNAL, b"x"))
+        assert len(inboxes[1]) == 1 and not inboxes[2]
+
+    def test_broadcast(self):
+        net, inboxes = self._build()
+        net.send(Packet.build(0, BROADCAST, PayloadKind.HASHES, b"h"))
+        assert len(inboxes[1]) == 1 and len(inboxes[2]) == 1
+        assert not inboxes[0]
+
+    def test_corrupted_hashes_dropped_signals_kept(self):
+        net, inboxes = self._build(ber=0.01)
+        for i in range(50):
+            net.send(Packet.build(0, 1, PayloadKind.HASHES, bytes(100), seq=i))
+            net.send(Packet.build(0, 1, PayloadKind.SIGNAL, bytes(100), seq=i))
+        assert net.stats.dropped_payload > 0
+        assert net.stats.delivered_corrupted > 0
+        # every dropped packet was a hash packet; corrupted signals arrive
+        kinds = {p.header.kind for p in inboxes[1]}
+        assert PayloadKind.SIGNAL in kinds
+
+    def test_unknown_destination_rejected(self):
+        net, _ = self._build()
+        with pytest.raises(NetworkError):
+            net.send(Packet.build(0, 5, PayloadKind.SIGNAL, b"x"))
+
+    def test_duplicate_registration_rejected(self):
+        net, _ = self._build()
+        with pytest.raises(NetworkError):
+            net.register(0, lambda p: None)

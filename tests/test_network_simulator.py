@@ -1,0 +1,138 @@
+"""Tests for the discrete-event TDMA simulator."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.packet import BROADCAST, Packet, PayloadKind
+from repro.network.simulator import TDMASimulator
+from repro.network.tdma import TDMAConfig, TDMASchedule
+
+
+def _hash_packet(src: int, seq: int, payload: int = 48) -> Packet:
+    return Packet.build(src, BROADCAST, PayloadKind.HASHES, bytes(payload),
+                        seq=seq)
+
+
+class TestSlotDiscipline:
+    def test_only_slot_owner_transmits(self):
+        sim = TDMASimulator(n_nodes=3)
+        sim.enqueue(_hash_packet(2, 0))
+        # slots 0 and 1 belong to nodes 0 and 1: nothing moves
+        assert sim.step_slot() == []
+        assert sim.step_slot() == []
+        delivered = sim.step_slot()
+        assert delivered and all(d.src == 2 for d in delivered)
+
+    def test_time_advances_per_slot(self):
+        sim = TDMASimulator(n_nodes=2)
+        slot_ms = sim.config.slot_ms()
+        sim.step_slot()
+        sim.step_slot()
+        assert sim.now_ms == pytest.approx(2 * slot_ms)
+
+    def test_broadcast_reaches_all_other_nodes(self):
+        sim = TDMASimulator(n_nodes=4)
+        sim.enqueue(_hash_packet(0, 0))
+        delivered = sim.step_slot()
+        assert {d.dst for d in delivered} == {1, 2, 3}
+
+    def test_unicast_reaches_one(self):
+        sim = TDMASimulator(n_nodes=4)
+        sim.enqueue(Packet.build(0, 2, PayloadKind.SIGNAL, bytes(100)))
+        delivered = sim.step_slot()
+        assert [d.dst for d in delivered] == [2]
+
+    def test_fifo_per_node(self):
+        sim = TDMASimulator(n_nodes=1)
+        sim.enqueue(_hash_packet(0, 1))
+        sim.enqueue(_hash_packet(0, 2))
+        first = sim.run_for(sim.config.slot_ms() * 0.5)
+        # single-node broadcast has no receivers; use pending order instead
+        assert sim.pending(0) <= 2
+
+
+class TestTiming:
+    def test_all_to_all_drain_time_matches_model(self):
+        n_nodes, payload = 5, 48
+        sim = TDMASimulator(n_nodes=n_nodes)
+        for node in range(n_nodes):
+            sim.enqueue(_hash_packet(node, node))
+        elapsed = sim.run_until_idle()
+        # each node needs its slot once: at most one full frame + slack
+        assert elapsed <= 2 * sim.schedule.frame_ms + 1e-9
+
+    def test_latency_grows_with_queue_position(self):
+        sim = TDMASimulator(n_nodes=2)
+        for i in range(6):
+            sim.enqueue(_hash_packet(0, i))
+        sim.run_until_idle()
+        latencies = sorted(
+            {d.packet.header.seq: d.latency_ms for d in sim.deliveries}.items()
+        )
+        values = [lat for _, lat in latencies]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_saturation_detected(self):
+        sim = TDMASimulator(n_nodes=2)
+        for i in range(5000):
+            sim.enqueue(_hash_packet(0, i & 0xFFFF))
+        with pytest.raises(NetworkError):
+            sim.run_until_idle(max_ms=10.0)
+
+    def test_goodput_below_radio_rate(self):
+        sim = TDMASimulator(n_nodes=2)
+        for i in range(50):
+            sim.enqueue(Packet.build(0, 1, PayloadKind.SIGNAL, bytes(256),
+                                     seq=i))
+        sim.run_until_idle()
+        assert 0 < sim.goodput_mbps() < sim.config.radio.data_rate_mbps
+
+
+class TestErrorPolicy:
+    def test_lossy_channel_drops_hashes_keeps_signals(self):
+        from dataclasses import replace
+
+        from repro.network.radio import LOW_POWER
+
+        radio = replace(LOW_POWER, bit_error_rate=0.002)
+        sim = TDMASimulator(n_nodes=2, config=TDMAConfig(radio=radio), seed=3)
+        for i in range(80):
+            sim.enqueue(Packet.build(0, 1, PayloadKind.HASHES, bytes(128),
+                                     seq=i))
+            sim.enqueue(Packet.build(0, 1, PayloadKind.SIGNAL, bytes(128),
+                                     seq=i))
+        sim.run_until_idle(max_ms=500.0)
+        assert sim.drops  # the channel did bite
+        dropped_kinds = {d.packet.header.kind for d in sim.drops
+                         if d.packet.header_ok}
+        assert dropped_kinds <= {PayloadKind.HASHES}
+        corrupted_delivered = [d for d in sim.deliveries if d.corrupted]
+        assert all(
+            d.packet.header.kind == PayloadKind.SIGNAL
+            for d in corrupted_delivered
+        )
+
+    def test_custom_schedule_respected(self):
+        config = TDMAConfig()
+        schedule = TDMASchedule(config, [1, 1, 0])  # node 1 gets 2/3 slots
+        sim = TDMASimulator(n_nodes=2, config=config, schedule=schedule)
+        for i in range(4):
+            sim.enqueue(Packet.build(1, 0, PayloadKind.SIGNAL, bytes(10),
+                                     seq=i))
+        sim.step_slot()
+        sim.step_slot()
+        assert len({d.packet.header.seq for d in sim.deliveries}) == 2
+
+
+class TestValidation:
+    def test_unknown_source_rejected(self):
+        sim = TDMASimulator(n_nodes=2)
+        with pytest.raises(NetworkError):
+            sim.enqueue(_hash_packet(7, 0))
+
+    def test_unknown_destination_rejected(self):
+        sim = TDMASimulator(n_nodes=2)
+        sim.enqueue(Packet.build(0, 9, PayloadKind.SIGNAL, b"x"))
+        with pytest.raises(NetworkError):
+            sim.step_slot()

@@ -1,0 +1,108 @@
+"""Tests: the full Fig. 2b fabric, and query/application coexistence."""
+
+import pytest
+
+from repro.apps.queries import QueryCostModel, QuerySpec
+from repro.hardware.catalog import catalog_names, total_area_kge
+from repro.hardware.node_fabric import (
+    MAD_PE,
+    block_unit_ids,
+    mad_cluster_ids,
+    node_area_kge,
+    node_static_power_mw,
+    standard_node_fabric,
+)
+from repro.linalg.tiling import BLOCK_WAYS, MAD_CLUSTER_SIZE
+from repro.scheduler.ilp import Flow, SchedulerProblem
+from repro.scheduler.model import (
+    dtw_similarity_task,
+    hash_similarity_task,
+    seizure_detection_task,
+)
+from repro.units import ELECTRODES_PER_NODE, NODE_POWER_CAP_MW
+
+
+class TestNodeFabric:
+    def test_full_catalog_plus_mad_cluster(self):
+        fabric = standard_node_fabric()
+        assert len(fabric.pes) == len(catalog_names()) + MAD_CLUSTER_SIZE - 1
+
+    def test_mad_cluster_size(self):
+        fabric = standard_node_fabric()
+        assert len(mad_cluster_ids(fabric)) == MAD_CLUSTER_SIZE
+        assert len(block_unit_ids(fabric)) == BLOCK_WAYS
+
+    def test_area_accounting(self):
+        from repro.hardware.catalog import get_pe
+
+        expected = total_area_kge() + (MAD_CLUSTER_SIZE - 1) * get_pe(
+            MAD_PE
+        ).area_kge
+        assert node_area_kge() == pytest.approx(expected)
+
+    def test_worst_case_static_power_under_half_cap(self):
+        """Even with every PE leaking, static power leaves headroom —
+        the premise of SCALO's power-gated flexibility."""
+        assert node_static_power_mw() < NODE_POWER_CAP_MW / 2
+
+    def test_pipelines_wire_on_the_standard_fabric(self):
+        fabric = standard_node_fabric()
+        fabric.connect("FFT", "SVM")
+        pipeline = fabric.pipeline("detect", ["FFT", "SVM"])
+        assert pipeline.latency_ms > 0
+
+
+class TestQueryCoexistence:
+    """§2.2: interactive querying must not disrupt the running apps."""
+
+    def _seizure_flows(self):
+        return [
+            Flow(seizure_detection_task(), electrode_cap=ELECTRODES_PER_NODE),
+            Flow(hash_similarity_task("all_all", net_budget_ms=1.0),
+                 electrode_cap=ELECTRODES_PER_NODE),
+            Flow(dtw_similarity_task("one_all", net_budget_ms=4.0),
+                 electrode_cap=ELECTRODES_PER_NODE),
+        ]
+
+    def test_query_power_fits_alongside_the_application(self):
+        # a hash-based Q2 costs ~3 mW (Fig. 10); reserve it from the cap
+        query_cost = QueryCostModel(n_nodes=11).cost(
+            QuerySpec("q2", 110.0, 0.05)
+        )
+        assert query_cost.power_mw < 5.0
+
+        baseline = SchedulerProblem(
+            11, self._seizure_flows(), power_budget_mw=NODE_POWER_CAP_MW
+        ).solve()
+        with_query = SchedulerProblem(
+            11, self._seizure_flows(),
+            power_budget_mw=NODE_POWER_CAP_MW - query_cost.power_mw,
+        ).solve()
+
+        # detection keeps running at a meaningful rate during the query
+        detect = with_query.allocation("seizure_detection")
+        assert detect.electrodes_per_node > 48
+        # and the degradation is graceful, not a collapse
+        assert with_query.weighted_mbps() > 0.5 * baseline.weighted_mbps()
+
+    def test_query_uses_the_external_radio_not_the_tdma_medium(self):
+        # the intra-SCALO medium stays with the application flows: the
+        # query's transmit leg rides the 46 Mbps external radio
+        model = QueryCostModel(n_nodes=11)
+        assert model.external_radio.data_rate_mbps == 46.0
+
+    def test_dtw_query_would_not_coexist(self):
+        """The §6.4 point of hash-based querying: an exact-DTW Q2 needs
+        ~15 mW and cannot run next to anything."""
+        dtw_cost = QueryCostModel(n_nodes=11).cost(
+            QuerySpec("q2", 110.0, 0.05, use_hash=False)
+        )
+        remaining = NODE_POWER_CAP_MW - dtw_cost.power_mw
+        import pytest as _pytest
+
+        from repro.errors import SchedulingError
+
+        with _pytest.raises(SchedulingError):
+            SchedulerProblem(
+                11, self._seizure_flows(), power_budget_mw=max(remaining, 0.1)
+            ).solve()

@@ -1,0 +1,178 @@
+"""Tests for the LP scheduler and its closed-form analytical twin."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduler.analytical import analytic_electrodes, analytic_throughput_mbps
+from repro.scheduler.ilp import Flow, SchedulerProblem, max_throughput_mbps
+from repro.scheduler.model import (
+    TaskModel,
+    dtw_similarity_task,
+    hash_similarity_task,
+    mi_kf_task,
+    mi_nn_task,
+    mi_svm_task,
+    seizure_detection_task,
+    spike_sorting_task,
+)
+
+ALL_TASKS = (
+    seizure_detection_task,
+    spike_sorting_task,
+    lambda: hash_similarity_task("all_all"),
+    lambda: hash_similarity_task("one_all"),
+    lambda: dtw_similarity_task("all_all"),
+    lambda: dtw_similarity_task("one_all"),
+    mi_svm_task,
+    mi_nn_task,
+    mi_kf_task,
+)
+
+
+class TestAgreementWithClosedForm:
+    @pytest.mark.parametrize("task_factory", ALL_TASKS)
+    @pytest.mark.parametrize("n_nodes", [1, 6, 16])
+    def test_lp_matches_analytical(self, task_factory, n_nodes):
+        """The LP's single-flow optimum equals min of the analytic caps."""
+        task = task_factory()
+        lp = max_throughput_mbps(task, n_nodes, 15.0)
+        closed = analytic_throughput_mbps(task, n_nodes, 15.0)
+        assert lp == pytest.approx(closed, rel=0.02)
+
+    @pytest.mark.parametrize("power", [6.0, 9.0, 15.0])
+    def test_lp_matches_analytical_across_power(self, power):
+        task = seizure_detection_task()
+        assert max_throughput_mbps(task, 1, power) == pytest.approx(
+            analytic_throughput_mbps(task, 1, power), rel=0.02
+        )
+
+
+class TestPaperShapes:
+    def test_detection_falls_superlinearly_with_power(self):
+        """§6.2: detection throughput falls quadratically (XCOR pairs)."""
+        task = seizure_detection_task()
+        t15 = max_throughput_mbps(task, 1, 15.0)
+        t6 = max_throughput_mbps(task, 1, 6.0)
+        # a linear task would drop ~2.6x; the pairwise one drops less
+        # than linearly in the electrode count sense: T ~ sqrt(P)
+        assert 65 <= t15 <= 90  # paper: 79 Mbps
+        assert t15 / t6 < (15.0 - 1.4) / (6.0 - 1.4)
+
+    def test_sorting_falls_linearly_with_power(self):
+        task = spike_sorting_task()
+        t15 = max_throughput_mbps(task, 1, 15.0)
+        t6 = max_throughput_mbps(task, 1, 6.0)
+        assert 100 <= t15 <= 140  # paper: 118 Mbps
+        assert t15 / t6 == pytest.approx((15.0) / (6.0), rel=0.35)
+
+    def test_hash_all_all_peaks_near_6_nodes(self):
+        task_factory = lambda: hash_similarity_task("all_all")
+        series = {
+            n: max_throughput_mbps(task_factory(), n, 15.0)
+            for n in (2, 4, 6, 8, 16, 32)
+        }
+        peak = max(series, key=series.get)
+        assert 4 <= peak <= 8  # paper: peak at 6 nodes
+        assert series[32] < series[peak] / 2
+
+    def test_hash_one_all_scales_linearly(self):
+        t8 = max_throughput_mbps(hash_similarity_task("one_all"), 8, 15.0)
+        t64 = max_throughput_mbps(hash_similarity_task("one_all"), 64, 15.0)
+        assert t64 == pytest.approx(8 * t8, rel=0.02)
+
+    def test_hash_one_all_64_nodes_near_paper(self):
+        t = max_throughput_mbps(hash_similarity_task("one_all"), 64, 15.0)
+        assert 5000 <= t <= 10000  # paper: 6851 Mbps
+
+    def test_dtw_all_all_communication_limited(self):
+        """§6.2: DTW All-All is unaffected by power down to ~4 mW."""
+        task_factory = lambda: dtw_similarity_task("all_all")
+        t15 = max_throughput_mbps(task_factory(), 4, 15.0)
+        t6 = max_throughput_mbps(task_factory(), 4, 6.0)
+        assert t15 == pytest.approx(t6, rel=0.01)
+
+    def test_dtw_all_all_decreases_with_nodes(self):
+        task_factory = lambda: dtw_similarity_task("all_all")
+        t2 = max_throughput_mbps(task_factory(), 2, 15.0)
+        t64 = max_throughput_mbps(task_factory(), 64, 15.0)
+        assert t64 < t2
+
+    def test_mi_svm_highest_of_movement_apps(self):
+        svm = max_throughput_mbps(mi_svm_task(), 16, 15.0)
+        nn = max_throughput_mbps(mi_nn_task(), 16, 15.0)
+        kf = max_throughput_mbps(mi_kf_task(), 16, 15.0)
+        assert svm > nn > kf
+
+    def test_mi_kf_saturates_at_384_electrodes(self):
+        """§6.2: the NVM caps MI-KF at 384 electrodes / 4 nodes."""
+        t4 = max_throughput_mbps(mi_kf_task(), 4, 15.0)
+        t16 = max_throughput_mbps(mi_kf_task(), 16, 15.0)
+        assert t4 == pytest.approx(t16, rel=0.01)
+        assert t4 / 0.48 == pytest.approx(384, rel=0.05)
+
+    def test_mi_kf_flat_then_quadratic_in_power(self):
+        t15 = max_throughput_mbps(mi_kf_task(), 8, 15.0)
+        t12 = max_throughput_mbps(mi_kf_task(), 8, 12.0)
+        t6 = max_throughput_mbps(mi_kf_task(), 8, 6.0)
+        assert t12 == pytest.approx(t15, rel=0.01)  # NVM-limited region
+        assert t6 < t15  # power-limited region
+
+
+class TestMultiFlow:
+    def test_weights_steer_allocation(self):
+        flows_a = [
+            Flow(seizure_detection_task(), weight=10.0, electrode_cap=96),
+            Flow(hash_similarity_task("all_all", net_budget_ms=1.0),
+                 weight=1.0, electrode_cap=96),
+        ]
+        flows_b = [
+            Flow(seizure_detection_task(), weight=1.0, electrode_cap=96),
+            Flow(hash_similarity_task("all_all", net_budget_ms=1.0),
+                 weight=10.0, electrode_cap=96),
+        ]
+        # tighten power so the flows genuinely compete
+        a = SchedulerProblem(8, flows_a, power_budget_mw=8.0).solve()
+        b = SchedulerProblem(8, flows_b, power_budget_mw=8.0).solve()
+        det_a = a.allocation("seizure_detection").electrodes_per_node
+        det_b = b.allocation("seizure_detection").electrodes_per_node
+        assert det_a > det_b
+
+    def test_power_budget_respected(self):
+        flows = [
+            Flow(seizure_detection_task(), electrode_cap=96),
+            Flow(hash_similarity_task("all_all", net_budget_ms=1.0),
+                 electrode_cap=96),
+            Flow(dtw_similarity_task("one_all", net_budget_ms=4.0),
+                 electrode_cap=96),
+        ]
+        schedule = SchedulerProblem(11, flows, power_budget_mw=15.0).solve()
+        assert schedule.node_power_mw <= 15.0 + 1e-6
+
+    def test_static_power_over_budget_rejected(self):
+        flows = [Flow(seizure_detection_task())]
+        with pytest.raises(SchedulingError):
+            SchedulerProblem(2, flows, power_budget_mw=0.5).solve()
+
+    def test_missing_allocation_lookup_raises(self):
+        schedule = SchedulerProblem(
+            2, [Flow(spike_sorting_task())]
+        ).solve()
+        with pytest.raises(SchedulingError):
+            schedule.allocation("ghost")
+
+    def test_weighted_metric_normalises(self):
+        flows = [
+            Flow(spike_sorting_task(), weight=2.0),
+            Flow(seizure_detection_task(), weight=2.0),
+        ]
+        schedule = SchedulerProblem(4, flows).solve()
+        mean_flow = sum(a.aggregate_mbps for a in schedule.allocations) / 2
+        assert schedule.weighted_mbps() == pytest.approx(mean_flow)
+
+    def test_analytic_breakdown_names_binding_constraint(self):
+        breakdown = analytic_electrodes(dtw_similarity_task("all_all"), 16, 15.0)
+        assert breakdown.binding == "network"
+        breakdown = analytic_electrodes(spike_sorting_task(), 1, 15.0)
+        assert breakdown.binding == "power"
+        breakdown = analytic_electrodes(mi_kf_task(), 8, 15.0)
+        assert breakdown.binding == "nvm"

@@ -1,0 +1,93 @@
+"""Tests for the task cost models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduler.model import (
+    PAIR_NORM,
+    TaskModel,
+    dtw_similarity_task,
+    hash_similarity_task,
+    mi_kf_task,
+    mi_nn_task,
+    mi_svm_task,
+    seizure_detection_task,
+    spike_sorting_task,
+)
+
+
+class TestTaskModel:
+    def test_static_includes_nvm_leakage_when_used(self):
+        with_nvm = spike_sorting_task()
+        base = TaskModel("t", ("NEO",), 1.0)
+        assert with_nvm.static_mw > base.static_mw
+
+    def test_dynamic_linear(self):
+        task = TaskModel("t", ("NEO",), dyn_uw_per_electrode=10.0)
+        assert task.dynamic_mw(100) == pytest.approx(1.0)
+
+    def test_dynamic_quadratic_term(self):
+        task = TaskModel("t", ("XCOR",), 0.0, pairwise_uw=PAIR_NORM)
+        assert task.dynamic_mw(100) == pytest.approx(100 * 100 / 1e3)
+
+    def test_power_inversion_roundtrip(self):
+        task = seizure_detection_task()
+        for budget in (2.0, 5.0, 10.0):
+            electrodes = task.max_electrodes_for_power(budget)
+            assert task.dynamic_mw(electrodes) == pytest.approx(budget)
+
+    def test_wire_bytes(self):
+        task = TaskModel("t", ("NEO",), 1.0, comm="one_all",
+                         wire_bytes_per_electrode=2.0, wire_bytes_fixed=10.0)
+        assert task.wire_bytes(5) == 20.0
+
+    def test_bad_comm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskModel("t", ("NEO",), 1.0, comm="gossip")
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskModel("t", ("NEO",), -1.0)
+
+
+class TestPaperTasks:
+    def test_detection_is_pairwise(self):
+        assert seizure_detection_task().pairwise_uw > 0
+
+    def test_sorting_is_linear(self):
+        assert spike_sorting_task().pairwise_uw == 0
+
+    def test_hash_task_ships_less_than_dtw_task(self):
+        """Hashes are ~100x smaller than raw signal windows."""
+        hash_task = hash_similarity_task()
+        dtw_task = dtw_similarity_task()
+        assert (
+            dtw_task.wire_bytes_per_electrode
+            > 100 * hash_task.wire_bytes_per_electrode
+        )
+
+    def test_mi_svm_ships_4_bytes_fixed(self):
+        task = mi_svm_task()
+        assert task.wire_bytes_fixed == 4.0
+        assert task.wire_bytes_per_electrode == 0.0
+
+    def test_mi_nn_ships_1024_bytes(self):
+        assert mi_nn_task().wire_bytes_fixed == 1024.0
+
+    def test_mi_kf_ships_per_electrode_and_centralises(self):
+        task = mi_kf_task()
+        assert task.wire_bytes_per_electrode == 4.0
+        assert task.centralised
+
+    def test_mi_svm_slightly_cheaper_than_hash(self):
+        """Paper §6.2: MI-SVM processes ~3 % more electrodes than hashing."""
+        svm = mi_svm_task().dyn_uw_per_electrode
+        hash_cost = hash_similarity_task().dyn_uw_per_electrode
+        assert svm < hash_cost
+        assert svm > 0.85 * hash_cost
+
+    def test_nvm_utilisation_scales(self):
+        task = spike_sorting_task()
+        assert task.nvm_utilisation(200) == pytest.approx(
+            2 * task.nvm_utilisation(100)
+        )

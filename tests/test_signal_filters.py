@@ -1,0 +1,91 @@
+"""Tests for the from-scratch Butterworth band-pass filter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.filters import (
+    ButterworthBandpass,
+    butter_bandpass_zpk,
+    sosfilt,
+    zpk_to_sos,
+)
+
+
+class TestDesign:
+    def test_poles_inside_unit_circle(self):
+        zeros, poles, gain = butter_bandpass_zpk(100, 1000, order=3, fs_hz=30000)
+        assert np.all(np.abs(poles) < 1.0)
+        assert gain > 0
+
+    def test_bandpass_order_doubles(self):
+        zeros, poles, _ = butter_bandpass_zpk(100, 1000, order=2, fs_hz=30000)
+        assert poles.shape[0] == 4
+        assert zeros.shape[0] == 4
+
+    @pytest.mark.parametrize(
+        "low,high", [(0, 100), (100, 100), (1000, 100), (100, 20000)]
+    )
+    def test_invalid_band_rejected(self, low, high):
+        with pytest.raises(ConfigurationError):
+            butter_bandpass_zpk(low, high, fs_hz=30000)
+
+    def test_order_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            butter_bandpass_zpk(100, 1000, order=0, fs_hz=30000)
+
+
+class TestFrequencyResponse:
+    @pytest.fixture()
+    def bbf(self):
+        return ButterworthBandpass(100, 1000, order=2, fs_hz=30000)
+
+    def test_unity_gain_at_band_centre(self, bbf):
+        centre = np.sqrt(100 * 1000)
+        response = np.abs(bbf.frequency_response(np.array([centre])))
+        assert response[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_stopband_attenuation(self, bbf):
+        response = np.abs(bbf.frequency_response(np.array([5.0, 12000.0])))
+        assert np.all(response < 0.05)
+
+    def test_passband_flatish(self, bbf):
+        response = np.abs(bbf.frequency_response(np.array([300.0, 500.0])))
+        assert np.all(response > 0.7)
+
+
+class TestFiltering:
+    def test_sine_in_band_passes(self):
+        fs = 10000.0
+        t = np.arange(4096) / fs
+        bbf = ButterworthBandpass(100, 1000, order=2, fs_hz=fs)
+        in_band = np.sin(2 * np.pi * 300 * t)
+        out_band = np.sin(2 * np.pi * 3500 * t)
+        kept = bbf(in_band)[1000:]
+        removed = bbf(out_band)[1000:]
+        assert kept.std() > 0.5
+        assert removed.std() < 0.1
+
+    def test_multichannel(self):
+        bbf = ButterworthBandpass(100, 1000, fs_hz=10000)
+        data = np.random.default_rng(0).normal(size=(3, 500))
+        out = bbf(data)
+        assert out.shape == data.shape
+
+    def test_3d_rejected(self):
+        bbf = ButterworthBandpass(100, 1000, fs_hz=10000)
+        with pytest.raises(ConfigurationError):
+            bbf(np.zeros((2, 2, 2)))
+
+    def test_band_power_picks_up_in_band_energy(self):
+        fs = 10000.0
+        t = np.arange(2048) / fs
+        bbf = ButterworthBandpass(100, 1000, order=2, fs_hz=fs)
+        assert bbf.band_power(np.sin(2 * np.pi * 300 * t)) > 10 * bbf.band_power(
+            np.sin(2 * np.pi * 4000 * t)
+        )
+
+    def test_sosfilt_linear(self):
+        sections = np.array([[0.5, 0.0, 0.0, 1.0, 0.0, 0.0]])
+        x = np.arange(5.0)
+        assert np.allclose(sosfilt(sections, x), 0.5 * x)

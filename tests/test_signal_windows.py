@@ -1,0 +1,69 @@
+"""Tests for sliding windows and time/sample conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.windows import (
+    channel_windows,
+    ms_to_samples,
+    samples_to_ms,
+    sliding_windows,
+    window_count,
+)
+
+
+class TestSlidingWindows:
+    def test_disjoint_windows(self):
+        windows = sliding_windows(np.arange(10), window=5)
+        assert windows.shape == (2, 5)
+        assert (windows[0] == np.arange(5)).all()
+        assert (windows[1] == np.arange(5, 10)).all()
+
+    def test_overlapping_windows(self):
+        windows = sliding_windows(np.arange(10), window=4, step=2)
+        assert windows.shape == (4, 4)
+        assert (windows[1] == np.arange(2, 6)).all()
+
+    def test_short_stream_gives_empty(self):
+        windows = sliding_windows(np.arange(3), window=5)
+        assert windows.shape == (0, 5)
+
+    def test_count_matches_helper(self):
+        for n, w, s in [(100, 10, 10), (100, 10, 3), (7, 10, 1), (120, 120, 120)]:
+            produced = sliding_windows(np.arange(n), w, s).shape[0]
+            assert produced == window_count(n, w, s)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.zeros((2, 10)), 5)
+
+    @pytest.mark.parametrize("window,step", [(0, 1), (5, 0), (-1, 1)])
+    def test_bad_geometry_rejected(self, window, step):
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.arange(10), window, step)
+
+
+class TestChannelWindows:
+    def test_shape(self):
+        rec = np.arange(60).reshape(3, 20)
+        windows = channel_windows(rec, window=5)
+        assert windows.shape == (3, 4, 5)
+        assert (windows[1, 0] == rec[1, :5]).all()
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            channel_windows(np.arange(10), 5)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert ms_to_samples(4.0) == 120
+        assert samples_to_ms(120) == pytest.approx(4.0)
+
+    def test_custom_rate(self):
+        assert ms_to_samples(10.0, rate_hz=1000) == 10
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ms_to_samples(-1.0)

@@ -1,0 +1,192 @@
+"""Tests for the NVM device, layout, partitions, and storage controller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.controller import SC_BUFFER_BYTES, StorageController
+from repro.storage.layout import (
+    CHUNKED_READ_MS_PER_WINDOW,
+    INTERLEAVED_READ_MS_PER_WINDOW,
+    chunk_address,
+    chunked_layout,
+    deinterleave,
+    interleave,
+    read_cost_ms,
+    write_cost_ms,
+)
+from repro.storage.nvm import (
+    BLOCK_BYTES,
+    NVMDevice,
+    PAGE_BYTES,
+    PAGES_PER_BLOCK,
+)
+from repro.storage.partitions import PartitionTable
+
+
+@pytest.fixture()
+def device():
+    return NVMDevice(capacity_bytes=16 * 1024 * 1024)
+
+
+class TestNVMDevice:
+    def test_program_and_read(self, device):
+        device.program_page(3, b"hello")
+        assert device.read(3, 0, 8)[:5] == b"hello"
+
+    def test_unprogrammed_reads_ff(self, device):
+        assert device.read(0, 0, 8) == b"\xff" * 8
+
+    def test_program_twice_requires_erase(self, device):
+        device.program_page(0, b"a")
+        with pytest.raises(StorageError):
+            device.program_page(0, b"b")
+        device.erase_block(0)
+        device.program_page(0, b"b")
+
+    def test_erase_clears_whole_block(self, device):
+        device.program_page(0, b"a")
+        device.program_page(PAGES_PER_BLOCK - 1, b"z")
+        device.erase_block(0)
+        assert device.read(0, 0, 8) == b"\xff" * 8
+
+    def test_read_alignment_enforced(self, device):
+        with pytest.raises(StorageError):
+            device.read(0, 3, 8)
+        with pytest.raises(StorageError):
+            device.read(0, 0, 5)
+
+    def test_stats_accumulate(self, device):
+        device.program_page(0, b"x")
+        device.read_page(0)
+        assert device.stats.page_writes == 1
+        assert device.stats.page_reads == 1
+        assert device.stats.busy_ms > 0
+        assert device.stats.dynamic_energy_nj > 0
+
+    def test_bandwidths_paper_ordering(self):
+        # reads are far faster than erase-burdened writes
+        assert NVMDevice.read_bandwidth_mbps() > NVMDevice.write_bandwidth_mbps()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            NVMDevice(capacity_bytes=BLOCK_BYTES // 2)
+
+
+class TestLayout:
+    def test_interleave_roundtrip(self, rng):
+        data = rng.integers(0, 100, size=(4, 12))
+        assert (deinterleave(interleave(data), 4) == data).all()
+
+    def test_chunked_layout_groups_by_electrode(self):
+        data = np.arange(12).reshape(2, 6)  # 2 electrodes, 6 samples
+        out = chunked_layout(data, chunk_samples=3)
+        # chunk period 0: e0 samples 0-2, e1 samples 6-8 ...
+        assert out.tolist() == [0, 1, 2, 6, 7, 8, 3, 4, 5, 9, 10, 11]
+
+    def test_chunk_address(self):
+        assert chunk_address(0, 0, 4, chunk_samples=120) == 0
+        assert chunk_address(1, 0, 4, chunk_samples=120) == 240
+        assert chunk_address(0, 1, 4, chunk_samples=120) == 4 * 240
+
+    def test_paper_read_advantage(self):
+        chunked = read_cost_ms(120, 96, chunked=True)
+        interleaved = read_cost_ms(120, 96, chunked=False)
+        assert chunked == pytest.approx(CHUNKED_READ_MS_PER_WINDOW)
+        assert interleaved == pytest.approx(INTERLEAVED_READ_MS_PER_WINDOW)
+        assert interleaved / chunked == pytest.approx(10.0)
+
+    def test_paper_write_tradeoff(self):
+        assert write_cost_ms(120, chunked=True) / write_cost_ms(
+            120, chunked=False
+        ) == pytest.approx(5.0)
+
+    def test_indivisible_chunk_rejected(self):
+        with pytest.raises(StorageError):
+            chunked_layout(np.zeros((2, 100)), chunk_samples=120)
+
+
+class TestPartitions:
+    def test_default_fractions_cover_device(self):
+        table = PartitionTable(capacity_bytes=64 * 1024 * 1024)
+        assert set(table.partitions) == {"signals", "hashes", "appdata", "mc"}
+        sizes = [p.size_bytes for p in table.partitions.values()]
+        assert all(s % BLOCK_BYTES == 0 for s in sizes)
+
+    def test_append_and_locate(self):
+        table = PartitionTable(capacity_bytes=64 * 1024 * 1024)
+        address = table["hashes"].append(100)
+        assert table.locate(address).name == "hashes"
+
+    def test_ring_wraps_over_oldest(self):
+        table = PartitionTable(capacity_bytes=64 * 1024 * 1024)
+        partition = table["mc"]
+        first = partition.append(partition.size_bytes - 10)
+        assert not partition.wrapped
+        second = partition.append(100)  # forces wrap
+        assert partition.wrapped
+        assert second == partition.start_byte
+
+    def test_oversized_object_rejected(self):
+        table = PartitionTable(capacity_bytes=64 * 1024 * 1024)
+        with pytest.raises(StorageError):
+            table["mc"].append(table["mc"].size_bytes + 1)
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(StorageError):
+            PartitionTable(64 * 1024 * 1024, fractions={"signals": 1.0})
+
+
+class TestStorageController:
+    @pytest.fixture()
+    def controller(self):
+        return StorageController(device=NVMDevice(capacity_bytes=32 * 1024 * 1024))
+
+    def test_window_roundtrip(self, controller, rng):
+        window = rng.integers(-1000, 1000, 120)
+        controller.store_window(5, 7, window)
+        assert (controller.read_window(5, 7) == window).all()
+
+    def test_channel_windows_roundtrip(self, controller, rng):
+        windows = rng.integers(-100, 100, size=(4, 120))
+        controller.store_channel_windows(0, windows)
+        for e in range(4):
+            assert (controller.read_window(e, 0) == windows[e]).all()
+
+    def test_missing_window_rejected(self, controller):
+        with pytest.raises(StorageError):
+            controller.read_window(0, 99)
+
+    def test_hash_batch_roundtrip(self, controller):
+        sigs = [(1, 2, 3), (4, 5, 6)]
+        controller.store_hash_batch(0, 4.0, sigs)
+        assert controller.read_hash_batch(0) == sigs
+
+    def test_recent_hash_windows(self, controller):
+        controller.store_hash_batch(0, 4.0, [(1,)])
+        controller.store_hash_batch(1, 8.0, [(2,)])
+        controller.store_hash_batch(2, 200.0, [(3,)])
+        assert controller.recent_hash_windows(10.0, 100.0) == [0, 1]
+
+    def test_appdata_roundtrip(self, controller):
+        controller.store_appdata("template:3", b"\x01\x02\x03")
+        assert controller.read_appdata("template:3") == b"\x01\x02\x03"
+        assert controller.appdata_keys() == ["template:3"]
+
+    def test_empty_appdata_rejected(self, controller):
+        with pytest.raises(StorageError):
+            controller.store_appdata("k", b"")
+
+    def test_mixed_signature_widths_rejected(self, controller):
+        with pytest.raises(StorageError):
+            controller.store_hash_batch(0, 0.0, [(1, 2), (3,)])
+
+    def test_busy_time_accumulates(self, controller, rng):
+        before = controller.busy_ms
+        controller.store_window(0, 0, rng.integers(0, 10, 120))
+        controller.read_window(0, 0)
+        assert controller.busy_ms > before
+
+    def test_oversized_window_rejected(self, controller):
+        with pytest.raises(StorageError):
+            controller.store_window(0, 0, np.zeros(SC_BUFFER_BYTES))

@@ -1,0 +1,131 @@
+"""Tests for online spike-template learning (OSort-style clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spike_sorting import TemplateMatcher, detect_spikes
+from repro.apps.template_learning import (
+    OnlineTemplateLearner,
+    align_to_trough,
+    learn_templates_from_recording,
+    match_templates_to_truth,
+)
+from repro.datasets.spikes import SPIKE_SAMPLES, generate_spikes
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_spikes("mearec", duration_s=4.0, seed=0)
+
+
+class TestAlignment:
+    def test_trough_lands_on_target(self, dataset):
+        snippet = dataset.snippet(0)
+        aligned = align_to_trough(snippet)
+        channel = int(np.argmax(np.max(np.abs(aligned), axis=1)))
+        assert int(np.argmin(aligned[channel])) == 20
+
+    def test_idempotent(self, dataset):
+        once = align_to_trough(dataset.snippet(1))
+        twice = align_to_trough(once)
+        assert np.allclose(once, twice)
+
+
+class TestLearner:
+    def test_same_waveform_forms_one_cluster(self, rng):
+        learner = OnlineTemplateLearner()
+        base = rng.normal(size=(4, SPIKE_SAMPLES)).cumsum(axis=1)
+        base[1, 20] = -8.0  # a clear trough
+        for _ in range(10):
+            learner.observe(base + 0.02 * rng.standard_normal(base.shape))
+        assert learner.n_clusters == 1
+        assert learner.clusters[0].count == 10
+
+    def test_distinct_waveforms_split(self, rng):
+        learner = OnlineTemplateLearner()
+        t = np.arange(SPIKE_SAMPLES, dtype=float)
+        a = np.zeros((2, SPIKE_SAMPLES))
+        a[0] = -5.0 * np.exp(-0.5 * ((t - 20) / 2.0) ** 2)  # sharp trough
+        b = np.zeros((2, SPIKE_SAMPLES))
+        b[1] = -5.0 * np.exp(-0.5 * ((t - 20) / 6.0) ** 2)  # wide trough
+        b[1] += 2.5 * np.exp(-0.5 * ((t - 40) / 6.0) ** 2)
+        for _ in range(5):
+            learner.observe(a + 0.02 * rng.standard_normal(a.shape))
+            learner.observe(b + 0.02 * rng.standard_normal(b.shape))
+        assert learner.n_clusters == 2
+
+    def test_running_mean_converges(self, rng):
+        learner = OnlineTemplateLearner()
+        base = np.zeros((1, SPIKE_SAMPLES))
+        base[0, 20] = -4.0
+        for _ in range(50):
+            learner.observe(base + 0.05 * rng.standard_normal(base.shape))
+        template = learner.templates()[0]
+        assert abs(template[0, 20] - (-4.0)) < 0.1
+
+    def test_noise_clusters_filtered(self, rng):
+        learner = OnlineTemplateLearner(min_count=3)
+        base = np.zeros((1, SPIKE_SAMPLES))
+        base[0, 20] = -4.0
+        for _ in range(6):
+            learner.observe(base + 0.02 * rng.standard_normal(base.shape))
+        # one singleton outlier
+        outlier = rng.normal(scale=3.0, size=(1, SPIKE_SAMPLES))
+        learner.observe(outlier)
+        assert learner.templates().shape[0] == 1
+
+    def test_empty_learner_rejects_readout(self):
+        with pytest.raises(ConfigurationError):
+            OnlineTemplateLearner().templates()
+
+    def test_bad_snippet_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnlineTemplateLearner().observe(np.zeros(SPIKE_SAMPLES))
+
+    def test_max_clusters_bounds_growth(self, rng):
+        learner = OnlineTemplateLearner(max_clusters=5, join_threshold=1e-6)
+        for _ in range(20):
+            learner.observe(rng.normal(size=(1, SPIKE_SAMPLES)) * 5)
+        assert learner.n_clusters <= 5
+
+
+class TestEndToEnd:
+    def test_learns_roughly_the_right_census(self, dataset):
+        templates, learner = learn_templates_from_recording(dataset.data)
+        truth = dataset.profile.n_neurons
+        assert truth * 0.5 <= templates.shape[0] <= truth * 2.5
+        assert learner.n_spikes_seen > dataset.n_spikes * 0.8
+
+    def test_learned_templates_match_truth(self, dataset):
+        templates, _ = learn_templates_from_recording(dataset.data)
+        aligned_truth = np.stack(
+            [align_to_trough(t) for t in dataset.templates]
+        )
+        mapping = match_templates_to_truth(templates, aligned_truth)
+        # most learned templates find a distinct ground-truth partner
+        assert len(mapping) >= min(templates.shape[0],
+                                   dataset.profile.n_neurons) * 0.6
+
+    def test_learned_templates_sort_above_chance(self, dataset):
+        templates, _ = learn_templates_from_recording(dataset.data)
+        aligned_truth = np.stack(
+            [align_to_trough(t) for t in dataset.templates]
+        )
+        mapping = match_templates_to_truth(templates, aligned_truth)
+        matcher = TemplateMatcher(templates)
+        times = detect_spikes(dataset.data)
+        times = times[times + SPIKE_SAMPLES <= dataset.data.shape[1]]
+        truth_times = dataset.spike_times
+        correct = total = 0
+        for t in times:
+            snippet = align_to_trough(dataset.data[:, t : t + SPIKE_SAMPLES])
+            predicted = mapping.get(matcher.classify_exact(snippet), -1)
+            j = int(np.argmin(np.abs(truth_times - t)))
+            if abs(int(truth_times[j]) - int(t)) <= 45:
+                total += 1
+                correct += predicted == dataset.spike_labels[j]
+        accuracy = correct / max(total, 1)
+        chance = 1.0 / dataset.profile.n_neurons
+        assert accuracy > 8 * chance  # far above chance (~0.05)
+        assert accuracy > 0.45  # online learning lands near offline's range

@@ -1,0 +1,55 @@
+"""Tests for the unit conventions module — the paper's magic numbers."""
+
+import pytest
+
+from repro import units
+
+
+class TestPaperConstants:
+    def test_electrode_rate(self):
+        # 30 kHz x 16 bit = 480 kbps per channel
+        assert units.ELECTRODE_RATE_BPS == 480_000
+
+    def test_node_rate_is_halo_headline(self):
+        # 96 electrodes = HALO's 46 Mbps interfacing rate
+        node_mbps = units.electrodes_to_mbps(units.ELECTRODES_PER_NODE)
+        assert node_mbps == pytest.approx(46.08)
+
+    def test_adc_power_split(self):
+        assert units.ADC_POWER_MW_PER_ELECTRODE * 96 == pytest.approx(2.88)
+
+    def test_window_geometry(self):
+        # 4 ms at 30 kHz = 120 samples = 240 B at 16 bit
+        assert units.WINDOW_SAMPLES == 120
+        assert units.WINDOW_BYTES == 240
+
+    def test_response_targets(self):
+        assert units.SEIZURE_RESPONSE_MS == 10.0
+        assert units.MOVEMENT_RESPONSE_MS == 50.0
+        assert units.SPIKE_SORT_RESPONSE_MS == 2.5
+
+    def test_power_cap(self):
+        assert units.NODE_POWER_CAP_MW == 15.0
+
+
+class TestConversions:
+    @pytest.mark.parametrize("value", [0.0, 1.0, 7.25, 480.0])
+    def test_rate_roundtrip(self, value):
+        assert units.bps_to_mbps(units.mbps_to_bps(value)) == pytest.approx(value)
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 96.0, 384.0])
+    def test_electrode_roundtrip(self, value):
+        assert units.mbps_to_electrodes(
+            units.electrodes_to_mbps(value)
+        ) == pytest.approx(value)
+
+    def test_power_conversions(self):
+        assert units.uw_to_mw(1500.0) == 1.5
+        assert units.mw_to_uw(1.5) == 1500.0
+
+    def test_time_conversions(self):
+        assert units.ms_to_s(250.0) == 0.25
+        assert units.s_to_ms(0.25) == 250.0
+
+    def test_energy_conversion(self):
+        assert units.nj_to_mj(1e6) == 1.0
