@@ -147,6 +147,21 @@ def _sec63(args) -> None:
         print(f"{key}: {value:.2f}")
 
 
+def _resilience(args) -> None:
+    from repro.eval.resilience import crash_query_degradation, resilience_sweep
+
+    print("ARQ recovery vs BER:")
+    for ber, r in resilience_sweep(n_packets=args.packets).items():
+        print(f"  BER {ber:.0e}: initial-loss {r.initial_loss_pct:5.2f}% "
+              f"recovered {r.recovery_rate_pct:6.2f}% "
+              f"residual {r.residual_loss_pct:5.2f}% "
+              f"airtime +{r.airtime_overhead_pct:.1f}%")
+    result = crash_query_degradation(n_nodes=args.nodes)
+    print(f"crash query: degraded={result.degraded} "
+          f"coverage={result.coverage:.2f} rows={len(result.rows)} "
+          f"failed={result.failed_nodes}")
+
+
 def _export(args) -> None:
     from repro.eval.export import export_all
 
@@ -171,6 +186,7 @@ _COMMANDS: dict[str, Callable] = {
     "fig15": _fig15,
     "fig15a": _fig15,
     "fig15b": _fig15,
+    "resilience": _resilience,
     "sec62": _sec62,
     "sec63": _sec63,
     "export": _export,

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ScaloError
 from repro.hardware.catalog import get_pe
 from repro.hashing.lsh import LSHFamily
 from repro.network.radio import EXTERNAL_RADIO, RadioSpec
@@ -181,6 +181,30 @@ class QueryResultRow:
 
 
 @dataclass
+class DistributedQueryResult:
+    """A query answer over whatever part of the fleet could respond.
+
+    ``rows`` covers every surviving node; ``failed_nodes`` lists implants
+    that were dead or errored mid-scan.  ``degraded`` and ``coverage``
+    let callers distinguish "no matches" from "no data from half the
+    fleet" — the paper's availability argument made explicit.
+    """
+
+    rows: list[QueryResultRow]
+    queried_nodes: list[int]
+    failed_nodes: list[int]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failed_nodes)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.queried_nodes) + len(self.failed_nodes)
+        return len(self.queried_nodes) / total if total else 0.0
+
+
+@dataclass
 class QueryEngine:
     """Functional query execution against per-node storage controllers.
 
@@ -198,6 +222,48 @@ class QueryEngine:
     def _stored_windows(self, node: int) -> list[tuple[int, int]]:
         return sorted(self.controllers[node]._windows)
 
+    def _template_signature(
+        self, spec: QuerySpec, template: np.ndarray | None
+    ) -> tuple[int, ...] | None:
+        if spec.kind == "q2" and template is None:
+            raise ConfigurationError("q2 needs a template window")
+        if spec.kind == "q2" and spec.use_hash:
+            return self.lsh.hash_window(template)
+        return None
+
+    def _node_rows(
+        self,
+        node: int,
+        spec: QuerySpec,
+        window_range: tuple[int, int],
+        template: np.ndarray | None,
+        template_sig: tuple[int, ...] | None,
+    ) -> list[QueryResultRow]:
+        """Scan one node's storage for matches."""
+        start, stop = window_range
+        controller = self.controllers[node]
+        flags = self.seizure_flags.get(node, set())
+        rows: list[QueryResultRow] = []
+        for electrode, window_index in self._stored_windows(node):
+            if not start <= window_index < stop:
+                continue
+            if spec.kind == "q1" and window_index not in flags:
+                continue
+            samples = controller.read_window(electrode, window_index)
+            if spec.kind == "q2":
+                if spec.use_hash:
+                    sig = self.lsh.hash_window(samples.astype(float))
+                    if not self.lsh.matches(sig, template_sig):
+                        continue
+                else:
+                    cost = dtw_distance(
+                        samples.astype(float), template, self.dtw_band
+                    )
+                    if cost > self.dtw_threshold:
+                        continue
+            rows.append(QueryResultRow(node, electrode, window_index, samples))
+        return rows
+
     def execute(
         self,
         spec: QuerySpec,
@@ -205,32 +271,45 @@ class QueryEngine:
         template: np.ndarray | None = None,
     ) -> list[QueryResultRow]:
         """Run a query over window indexes ``[start, stop)`` on all nodes."""
-        start, stop = window_range
-        if spec.kind == "q2" and template is None:
-            raise ConfigurationError("q2 needs a template window")
-        template_sig = (
-            self.lsh.hash_window(template) if spec.kind == "q2" and spec.use_hash
-            else None
-        )
+        template_sig = self._template_signature(spec, template)
         rows: list[QueryResultRow] = []
-        for node, controller in enumerate(self.controllers):
-            flags = self.seizure_flags.get(node, set())
-            for electrode, window_index in self._stored_windows(node):
-                if not start <= window_index < stop:
-                    continue
-                if spec.kind == "q1" and window_index not in flags:
-                    continue
-                samples = controller.read_window(electrode, window_index)
-                if spec.kind == "q2":
-                    if spec.use_hash:
-                        sig = self.lsh.hash_window(samples.astype(float))
-                        if not self.lsh.matches(sig, template_sig):
-                            continue
-                    else:
-                        cost = dtw_distance(
-                            samples.astype(float), template, self.dtw_band
-                        )
-                        if cost > self.dtw_threshold:
-                            continue
-                rows.append(QueryResultRow(node, electrode, window_index, samples))
+        for node in range(len(self.controllers)):
+            rows.extend(
+                self._node_rows(node, spec, window_range, template, template_sig)
+            )
         return rows
+
+    def execute_resilient(
+        self,
+        spec: QuerySpec,
+        window_range: tuple[int, int],
+        template: np.ndarray | None = None,
+        dead_nodes: set[int] | None = None,
+    ) -> DistributedQueryResult:
+        """Run a query over the surviving nodes; never raise per node.
+
+        Nodes listed in ``dead_nodes`` are skipped outright; a node whose
+        scan errors mid-flight (rotted metadata, storage faults) is added
+        to ``failed_nodes`` and the query proceeds — partial answers beat
+        lost sessions for interactive use.  Query-spec errors (bad kind,
+        missing template) still raise: they are caller bugs, not faults.
+        """
+        template_sig = self._template_signature(spec, template)
+        dead = dead_nodes or set()
+        rows: list[QueryResultRow] = []
+        queried: list[int] = []
+        failed: list[int] = []
+        for node in range(len(self.controllers)):
+            if node in dead:
+                failed.append(node)
+                continue
+            try:
+                rows.extend(
+                    self._node_rows(
+                        node, spec, window_range, template, template_sig
+                    )
+                )
+                queried.append(node)
+            except ScaloError:
+                failed.append(node)
+        return DistributedQueryResult(rows, queried, failed)

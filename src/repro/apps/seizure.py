@@ -27,6 +27,7 @@ import numpy as np
 from repro.datasets.synthetic_ieeg import SyntheticIEEG
 from repro.errors import ConfigurationError
 from repro.decoders.svm import LinearSVM, train_linear_svm
+from repro.faults.plan import FaultPlan
 from repro.hashing.collision import CollisionChecker, RecentHashStore
 from repro.hashing.lsh import LSHFamily
 from repro.network.packet import PACKET_OVERHEAD_BITS
@@ -135,6 +136,21 @@ class SimulationResult:
     hash_rounds_lost: int = 0
     signal_exchanges: int = 0
     stimulations: list[tuple[int, int]] = field(default_factory=list)
+    #: node-windows skipped because the node was down (fault plan)
+    node_windows_skipped: int = 0
+    #: total node-windows the run covered (alive or not)
+    node_windows_total: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of node-windows actually processed."""
+        if self.node_windows_total == 0:
+            return 1.0
+        return 1.0 - self.node_windows_skipped / self.node_windows_total
+
+    @property
+    def degraded(self) -> bool:
+        return self.node_windows_skipped > 0
 
     def first_confirmation_window(
         self, source_node: int, confirming_node: int
@@ -161,6 +177,12 @@ class SeizurePropagationSimulator:
         packet_loss_rate: probability a node's per-window hash packet is
             lost entirely (Fig. 15b: one packet carries all the node's
             hashes, so a hit loses the whole round).
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan` mapped
+            window-index -> TDMA round.  A down node neither hashes nor
+            detects; an alive node in a radio outage keeps working
+            locally but cannot broadcast or receive.  The run proceeds
+            over survivors and reports ``coverage``/``degraded`` instead
+            of raising.
         seed: RNG seed for the error processes.
     """
 
@@ -173,6 +195,7 @@ class SeizurePropagationSimulator:
     dtw_band: int = 10
     hash_error_rate: float = 0.0
     packet_loss_rate: float = 0.0
+    fault_plan: FaultPlan | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -202,10 +225,25 @@ class SeizurePropagationSimulator:
             start = w * self.window_samples
             now_ms = (w + 1) * window_ms
             windows = rec.data[:, :, start : start + self.window_samples]
+            # the fault plan is scheduled in TDMA rounds; one window = one round
+            alive = [
+                self.fault_plan is None or self.fault_plan.node_alive(n, w)
+                for n in range(rec.n_nodes)
+            ]
+            connected = [
+                alive[n]
+                and (self.fault_plan is None or self.fault_plan.radio_ok(n, w))
+                for n in range(rec.n_nodes)
+            ]
+            result.node_windows_total += rec.n_nodes
+            result.node_windows_skipped += rec.n_nodes - sum(alive)
 
-            # 1. every node hashes and stores its window (always-on stage)
+            # 1. every live node hashes and stores its window (always-on)
             node_hashes: list[list[tuple[int, ...]]] = []
             for node in range(rec.n_nodes):
+                if not alive[node]:
+                    node_hashes.append([])
+                    continue
                 signatures = []
                 for electrode in range(rec.n_electrodes):
                     sig = self.lsh.hash_window(windows[node, electrode])
@@ -225,6 +263,8 @@ class SeizurePropagationSimulator:
             # 2. local detection (cheap proxy: the node's mean channel)
             detecting = []
             for node in range(rec.n_nodes):
+                if not alive[node]:
+                    continue
                 mean_channel = windows[node].mean(axis=0)
                 if self.detector.detect_window(mean_channel):
                     detecting.append(node)
@@ -233,6 +273,10 @@ class SeizurePropagationSimulator:
             # 3. detecting nodes broadcast hashes; receivers collision-check
             for src in detecting:
                 result.hash_broadcasts += 1
+                if not connected[src]:
+                    # radio dark: the round is lost, detection stays local
+                    result.hash_rounds_lost += 1
+                    continue
                 if (
                     self.packet_loss_rate
                     and self._rng.random() < self.packet_loss_rate
@@ -240,7 +284,7 @@ class SeizurePropagationSimulator:
                     result.hash_rounds_lost += 1
                     continue
                 for dst in range(rec.n_nodes):
-                    if dst == src:
+                    if dst == src or not connected[dst]:
                         continue
                     local = stores[dst].recent(now_ms)
                     collisions = checker.check(node_hashes[src], local)

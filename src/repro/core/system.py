@@ -14,7 +14,7 @@ import numpy as np
 from repro.core.clock_sync import NodeClock, SNTPSynchroniser, SyncReport
 from repro.core.node import ScaloNode
 from repro.core.thermal import DEFAULT_SPACING_MM, PlacementCheck, check_placement
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NodeFailure
 from repro.hashing.lsh import LSHFamily
 from repro.network.network import WirelessNetwork
 from repro.network.packet import BROADCAST, Packet, PayloadKind
@@ -50,6 +50,7 @@ class ScaloSystem:
         ]
         self.network = WirelessNetwork(tdma=self.tdma, seed=self.seed)
         self._inboxes: dict[int, list[Packet]] = {i: [] for i in range(self.n_nodes)}
+        self._dead: set[int] = set()
         for node in self.nodes:
             self.network.register(
                 node.node_id,
@@ -61,6 +62,80 @@ class ScaloSystem:
                 -500, 500, self.n_nodes
             )
         ]
+
+    # -- node liveness -----------------------------------------------------------------
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.n_nodes:
+            raise ConfigurationError(f"node {node_id} out of range")
+
+    def is_alive(self, node_id: int) -> bool:
+        self._check_node(node_id)
+        return node_id not in self._dead
+
+    @property
+    def alive_node_ids(self) -> list[int]:
+        return [n for n in range(self.n_nodes) if n not in self._dead]
+
+    @property
+    def dead_node_ids(self) -> list[int]:
+        return sorted(self._dead)
+
+    def fail_node(self, node_id: int) -> None:
+        """Take a node down: it leaves the network and stops ingesting.
+
+        Idempotent — failing a node that is already down is a no-op, so a
+        fault plan and a health monitor can both report the same outage.
+        """
+        self._check_node(node_id)
+        if node_id in self._dead:
+            return
+        self._dead.add(node_id)
+        self.network.unregister(node_id)
+
+    def restore_node(self, node_id: int) -> None:
+        """Bring a failed node back (reboot): rejoin the network.
+
+        The node's NVM contents survive the reboot (NAND is non-volatile);
+        only its inbox is cleared, as SRAM does not.
+        """
+        self._check_node(node_id)
+        if node_id not in self._dead:
+            return
+        self._dead.discard(node_id)
+        self._inboxes[node_id] = []
+        self.network.register(
+            node_id, lambda pkt, nid=node_id: self._inboxes[nid].append(pkt)
+        )
+
+    def reschedule(self, flows, power_budget_mw: float | None = None):
+        """Re-run the ILP over the surviving nodes only.
+
+        A dead node contributes neither PEs nor radio slots, so the
+        schedule is re-solved at the reduced node count — throughput
+        degrades, the session survives.
+
+        Returns:
+            The new :class:`~repro.scheduler.ilp.Schedule`.
+
+        Raises:
+            SchedulingError: when no nodes survive or the reduced problem
+                is infeasible.
+        """
+        from repro.errors import SchedulingError
+        from repro.scheduler.ilp import SchedulerProblem
+
+        n_alive = len(self.alive_node_ids)
+        if n_alive == 0:
+            raise SchedulingError("no surviving nodes to schedule")
+        return SchedulerProblem(
+            n_nodes=n_alive,
+            flows=list(flows),
+            power_budget_mw=(
+                self.power_cap_mw if power_budget_mw is None else power_budget_mw
+            ),
+            tdma=self.tdma,
+        ).solve()
 
     # -- placement / maintenance ------------------------------------------------------
 
@@ -80,6 +155,8 @@ class ScaloSystem:
     def broadcast_hashes(self, src: int, signatures: list[tuple[int, ...]],
                          seq: int = 0) -> None:
         """Pack and broadcast one node's hash batch."""
+        if not self.is_alive(src):
+            raise NodeFailure(src, "cannot broadcast hashes")
         payload = b"".join(self.lsh.pack(sig) for sig in signatures)
         packet = Packet.build(
             src, BROADCAST, PayloadKind.HASHES, payload, seq=seq,
@@ -105,11 +182,41 @@ class ScaloSystem:
     # -- ingest -----------------------------------------------------------------------
 
     def ingest(self, windows: np.ndarray) -> list[list[tuple[int, ...]]]:
-        """Feed one window to every node: ``(n_nodes, electrodes, wlen)``."""
+        """Feed one window to every surviving node.
+
+        ``windows`` is ``(n_nodes, electrodes, wlen)``; a dead node's slice
+        is skipped (its ADC is not sampling) and its slot in the returned
+        list is an empty signature batch, keeping positions aligned.
+        """
         windows = np.asarray(windows)
         if windows.shape[0] != self.n_nodes:
             raise ConfigurationError("first axis must be nodes")
         return [
             node.ingest_window(windows[node.node_id])
+            if node.node_id not in self._dead
+            else []
             for node in self.nodes
         ]
+
+    # -- distributed queries ------------------------------------------------------------
+
+    def query(self, spec, window_range: tuple[int, int], template=None,
+              seizure_flags: dict[int, set[int]] | None = None):
+        """Run an interactive query over the surviving nodes.
+
+        A dead node's storage is unreachable, so the result is tagged
+        degraded with the coverage actually achieved rather than raising.
+
+        Returns:
+            :class:`~repro.apps.queries.DistributedQueryResult`.
+        """
+        from repro.apps.queries import QueryEngine
+
+        engine = QueryEngine(
+            controllers=[node.storage for node in self.nodes],
+            lsh=self.lsh,
+            seizure_flags=seizure_flags or {},
+        )
+        return engine.execute_resilient(
+            spec, window_range, template, dead_nodes=self._dead
+        )

@@ -67,6 +67,30 @@ class PacketCorrupted(NetworkError):
     """A received packet failed its CRC check."""
 
 
+class RetryExhausted(NetworkError):
+    """An ARQ transfer ran out of retries without an acknowledgement."""
+
+    def __init__(self, seq: int, attempts: int, targets: list[int] | None = None):
+        self.seq = seq
+        self.attempts = attempts
+        self.targets = targets or []
+        message = f"packet seq={seq} unacknowledged after {attempts} attempts"
+        if self.targets:
+            message = f"{message} (targets {self.targets})"
+        super().__init__(message)
+
+
+class NodeFailure(ScaloError):
+    """An operation addressed a node that is down (crashed or dark)."""
+
+    def __init__(self, node_id: int, detail: str = ""):
+        self.node_id = node_id
+        message = f"node {node_id} is down"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
 class QuerySyntaxError(ScaloError):
     """The Trill-like query text could not be parsed."""
 

@@ -8,6 +8,7 @@
 | Fig. 10 | :mod:`repro.eval.queries` |
 | Fig. 11 | :mod:`repro.eval.hash_accuracy` |
 | Fig. 12 | :mod:`repro.eval.network_errors` |
+| Fig. 12 + ARQ recovery | :mod:`repro.eval.resilience` |
 | Fig. 13 | :mod:`repro.eval.radio_dse` |
 | Fig. 14 | :mod:`repro.eval.hash_params` |
 | Fig. 15 | :mod:`repro.eval.delay` |
@@ -41,6 +42,12 @@ from repro.eval.hash_params import (
 )
 from repro.eval.network_errors import NetworkErrorResult, fig12, network_errors
 from repro.eval.queries import data_sizes_mb, fig10, q2_hash_vs_dtw
+from repro.eval.resilience import (
+    ResilienceResult,
+    arq_recovery,
+    crash_query_degradation,
+    resilience_sweep,
+)
 from repro.eval.radio_dse import fig13, radio_throughputs, table3
 from repro.eval.reporting import format_series, format_table
 from repro.eval.tables import table1_summary, table1_text, table3_text
@@ -74,6 +81,10 @@ __all__ = [
     "NetworkErrorResult",
     "fig12",
     "network_errors",
+    "ResilienceResult",
+    "arq_recovery",
+    "crash_query_degradation",
+    "resilience_sweep",
     "data_sizes_mb",
     "fig10",
     "q2_hash_vs_dtw",

@@ -1,0 +1,216 @@
+"""Deterministic, seed-driven fault plans scheduled in TDMA-round time.
+
+A :class:`FaultPlan` is the replayable half of the fault-injection
+substrate: a sorted list of :class:`FaultEvent` entries — node crashes
+and reboots, radio-outage windows, NVM page bit-rot, clock-drift spikes
+— each pinned to a TDMA round index.  Because the plan is data (not a
+live random process), the same seed always produces a byte-identical
+:meth:`event_log`, and replaying it through
+:class:`~repro.faults.injector.FaultInjector` against a seeded
+:class:`~repro.core.system.ScaloSystem` reproduces the exact same
+delivery statistics run after run.
+
+Bursty *packet* loss is deliberately not an event type here: it is a
+channel property, modelled by
+:class:`~repro.network.channel.GilbertElliottChannel` and plugged into
+the network directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy."""
+
+    NODE_CRASH = "node_crash"
+    NODE_REBOOT = "node_reboot"
+    RADIO_OUTAGE_START = "radio_outage_start"
+    RADIO_OUTAGE_END = "radio_outage_end"
+    NVM_BIT_ROT = "nvm_bit_rot"
+    CLOCK_DRIFT_SPIKE = "clock_drift_spike"
+
+
+#: Stable intra-round ordering (reboots before crashes would be wrong, etc.).
+_KIND_ORDER = {kind: i for i, kind in enumerate(FaultKind)}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``magnitude`` is kind-specific: bits to rot for ``NVM_BIT_ROT``,
+    microseconds of offset for ``CLOCK_DRIFT_SPIKE``, unused otherwise.
+    """
+
+    round: int
+    node: int
+    kind: FaultKind
+    magnitude: float = 0.0
+
+    def log_line(self) -> str:
+        return (
+            f"round={self.round:08d} node={self.node:03d} "
+            f"kind={self.kind.value} magnitude={self.magnitude:.6f}"
+        )
+
+
+def _sort_key(event: FaultEvent) -> tuple[int, int, int, float]:
+    return (event.round, _KIND_ORDER[event.kind], event.node, event.magnitude)
+
+
+@dataclass
+class FaultPlan:
+    """A replayable schedule of faults over ``n_rounds`` TDMA rounds."""
+
+    n_nodes: int
+    n_rounds: int
+    seed: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError("need at least one node")
+        if self.n_rounds < 1:
+            raise ConfigurationError("need at least one round")
+        for event in self.events:
+            if not 0 <= event.round < self.n_rounds:
+                raise ConfigurationError(
+                    f"event round {event.round} outside [0, {self.n_rounds})"
+                )
+            if not 0 <= event.node < self.n_nodes:
+                raise ConfigurationError(f"event node {event.node} out of range")
+        self.events = sorted(self.events, key=_sort_key)
+        self._rounds = [e.round for e in self.events]
+        self._alive_transitions = self._transitions(
+            up_kind=FaultKind.NODE_REBOOT, down_kind=FaultKind.NODE_CRASH
+        )
+        self._radio_transitions = self._transitions(
+            up_kind=FaultKind.RADIO_OUTAGE_END,
+            down_kind=FaultKind.RADIO_OUTAGE_START,
+        )
+
+    def _transitions(
+        self, up_kind: FaultKind, down_kind: FaultKind
+    ) -> dict[int, list[tuple[int, bool]]]:
+        table: dict[int, list[tuple[int, bool]]] = {
+            n: [] for n in range(self.n_nodes)
+        }
+        for event in self.events:
+            if event.kind is down_kind:
+                table[event.node].append((event.round, False))
+            elif event.kind is up_kind:
+                table[event.node].append((event.round, True))
+        return table
+
+    @staticmethod
+    def _state_at(transitions: list[tuple[int, bool]], round_index: int) -> bool:
+        state = True
+        for when, up in transitions:
+            if when > round_index:
+                break
+            state = up
+        return state
+
+    # -- queries ------------------------------------------------------------------
+
+    def events_at(self, round_index: int) -> list[FaultEvent]:
+        """All events scheduled for one round, in application order."""
+        lo = bisect_right(self._rounds, round_index - 1)
+        hi = bisect_right(self._rounds, round_index)
+        return self.events[lo:hi]
+
+    def node_alive(self, node: int, round_index: int) -> bool:
+        """Is the node up at this round (crashes take effect same-round)?"""
+        return self._state_at(self._alive_transitions[node], round_index)
+
+    def radio_ok(self, node: int, round_index: int) -> bool:
+        """Is the node's radio outside any outage window at this round?"""
+        return self._state_at(self._radio_transitions[node], round_index)
+
+    def event_log(self) -> str:
+        """The canonical textual form — byte-identical for equal plans."""
+        header = (
+            f"fault-plan nodes={self.n_nodes} rounds={self.n_rounds} "
+            f"seed={self.seed} events={len(self.events)}"
+        )
+        return "\n".join([header, *(e.log_line() for e in self.events)])
+
+    # -- generation ---------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        n_nodes: int,
+        n_rounds: int,
+        seed: int = 0,
+        *,
+        n_crashes: int = 1,
+        reboot_after: int | None = None,
+        n_outages: int = 0,
+        outage_rounds: int = 5,
+        n_bit_rot: int = 0,
+        rot_bits: int = 8,
+        n_drift_spikes: int = 0,
+        drift_spike_us: float = 50.0,
+    ) -> "FaultPlan":
+        """Draw a plan from a seeded RNG — the reproducible entry point.
+
+        Crashes hit distinct nodes (a node cannot crash while down); with
+        ``reboot_after`` set, each crashed node reboots that many rounds
+        later (if the horizon allows).  Outage windows, bit-rot, and drift
+        spikes land uniformly over rounds and nodes.
+        """
+        if n_crashes > n_nodes:
+            raise ConfigurationError("cannot crash more nodes than exist")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+
+        crash_nodes = rng.permutation(n_nodes)[:n_crashes]
+        for node in crash_nodes:
+            when = int(rng.integers(0, n_rounds))
+            events.append(FaultEvent(when, int(node), FaultKind.NODE_CRASH))
+            if reboot_after is not None and when + reboot_after < n_rounds:
+                events.append(
+                    FaultEvent(
+                        when + reboot_after, int(node), FaultKind.NODE_REBOOT
+                    )
+                )
+
+        for _ in range(n_outages):
+            node = int(rng.integers(0, n_nodes))
+            start = int(rng.integers(0, n_rounds))
+            events.append(FaultEvent(start, node, FaultKind.RADIO_OUTAGE_START))
+            end = start + outage_rounds
+            if end < n_rounds:
+                events.append(FaultEvent(end, node, FaultKind.RADIO_OUTAGE_END))
+
+        for _ in range(n_bit_rot):
+            events.append(
+                FaultEvent(
+                    int(rng.integers(0, n_rounds)),
+                    int(rng.integers(0, n_nodes)),
+                    FaultKind.NVM_BIT_ROT,
+                    magnitude=float(rot_bits),
+                )
+            )
+
+        for _ in range(n_drift_spikes):
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            events.append(
+                FaultEvent(
+                    int(rng.integers(0, n_rounds)),
+                    int(rng.integers(0, n_nodes)),
+                    FaultKind.CLOCK_DRIFT_SPIKE,
+                    magnitude=sign * drift_spike_us,
+                )
+            )
+
+        return cls(n_nodes=n_nodes, n_rounds=n_rounds, seed=seed, events=events)

@@ -1,8 +1,18 @@
-"""Wireless networking: packets, CRC, BER channel, radios, TDMA."""
+"""Wireless networking: packets, CRC, channels, radios, TDMA, ARQ."""
 
-from repro.network.channel import BitErrorChannel, flip_bits
+from repro.network.arq import ARQConfig, ARQResult, ARQStats, ReliableLink
+from repro.network.channel import (
+    BitErrorChannel,
+    GilbertElliottChannel,
+    flip_bits,
+)
 from repro.network.crc import crc32, verify
-from repro.network.network import DROP_ON_ERROR, DeliveryStats, WirelessNetwork
+from repro.network.network import (
+    DROP_ON_ERROR,
+    DeliveryOutcome,
+    DeliveryStats,
+    WirelessNetwork,
+)
 from repro.network.packet import (
     BROADCAST,
     HEADER_BITS,
@@ -35,11 +45,17 @@ from repro.network.tdma import (
 )
 
 __all__ = [
+    "ARQConfig",
+    "ARQResult",
+    "ARQStats",
+    "ReliableLink",
     "BitErrorChannel",
+    "GilbertElliottChannel",
     "flip_bits",
     "crc32",
     "verify",
     "DROP_ON_ERROR",
+    "DeliveryOutcome",
     "DeliveryStats",
     "WirelessNetwork",
     "BROADCAST",

@@ -1,0 +1,210 @@
+"""Sequence-tracked ACK/NACK ARQ over the intra-SCALO network.
+
+The base receive policy silently drops hash-class packets whose CRC
+fails (paper §3.4).  That is the right *per-packet* policy, but a
+resilient deployment must eventually get the hashes through:
+:class:`ReliableLink` adds a stop-and-wait ARQ on top of
+:class:`~repro.network.network.WirelessNetwork` — after each burst the
+receiver returns a short CONTROL-kind acknowledgement through the same
+noisy channel, and unacknowledged targets are retransmitted with a
+bounded retry budget and a backoff expressed in TDMA slots.
+
+Accounting is honest: every retransmission and every ACK spends real
+airtime in the network's :class:`~repro.network.network.DeliveryStats`,
+so throughput numbers measured above this layer include the recovery
+overhead.  Receivers attached through :meth:`ReliableLink.attach` are
+wrapped with per-(src, seq) duplicate suppression, because a lost ACK
+makes the sender retransmit a packet the application already saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, RetryExhausted
+from repro.network.network import Receiver, WirelessNetwork
+from repro.network.packet import BROADCAST, Packet, PayloadKind
+
+#: ACK payload: the acknowledged sequence number, big-endian.
+ACK_PAYLOAD_BYTES = 2
+
+
+@dataclass(frozen=True)
+class ARQConfig:
+    """The ARQ knobs.
+
+    ``max_retries`` bounds the retransmissions *per packet* (total
+    attempts = 1 + max_retries).  ``backoff_slots`` is the TDMA-slot wait
+    before the first retry; with ``exponential_backoff`` the wait doubles
+    per retry (1, 2, 4, ... slots), the classic congestion-friendly
+    schedule.
+    """
+
+    max_retries: int = 4
+    backoff_slots: int = 1
+    exponential_backoff: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_slots < 0:
+            raise ConfigurationError("backoff_slots must be >= 0")
+
+    def backoff_slots_for(self, retry: int) -> int:
+        """Slots waited before retry number ``retry`` (1-based)."""
+        if retry < 1:
+            return 0
+        if self.exponential_backoff:
+            return self.backoff_slots * (1 << (retry - 1))
+        return self.backoff_slots
+
+
+@dataclass
+class ARQStats:
+    """Counters for one reliable link's lifetime."""
+
+    packets: int = 0
+    delivered_first_try: int = 0
+    recovered: int = 0
+    failed: int = 0
+    retransmissions: int = 0
+    acks_sent: int = 0
+    acks_lost: int = 0
+    duplicates_suppressed: int = 0
+    ack_airtime_ms: float = 0.0
+    backoff_ms: float = 0.0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of initially-failed packets the ARQ got through."""
+        initially_failed = self.recovered + self.failed
+        if initially_failed == 0:
+            return 1.0
+        return self.recovered / initially_failed
+
+
+@dataclass
+class ARQResult:
+    """Outcome of one reliable send."""
+
+    seq: int
+    delivered: dict[int, int]  # target -> attempts needed
+    failed: list[int]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    @property
+    def attempts(self) -> int:
+        return max(self.delivered.values(), default=0)
+
+
+@dataclass
+class ReliableLink:
+    """Stop-and-wait ARQ endpoint manager over one wireless network."""
+
+    network: WirelessNetwork
+    config: ARQConfig = field(default_factory=ARQConfig)
+    stats: ARQStats = field(default_factory=ARQStats)
+
+    def __post_init__(self) -> None:
+        # (src, dst, seq) triples already handed to the application
+        self._seen: set[tuple[int, int, int]] = set()
+
+    # -- receive side -----------------------------------------------------------
+
+    def attach(self, node_id: int, receiver: Receiver) -> None:
+        """Register an endpoint behind duplicate suppression."""
+
+        def deduped(packet: Packet, _dst: int = node_id) -> None:
+            key = (packet.header.src, _dst, packet.header.seq)
+            if key in self._seen:
+                self.stats.duplicates_suppressed += 1
+                return
+            self._seen.add(key)
+            receiver(packet)
+
+        self.network.register(node_id, deduped)
+
+    # -- transmit side ----------------------------------------------------------
+
+    def _ack_roundtrip_ok(self, packet: Packet, target: int) -> bool:
+        """Model the receiver's ACK travelling back through the channel.
+
+        The ACK is a minimal CONTROL packet; if it arrives corrupted the
+        sender must assume loss (a NACK by timeout) and retransmit.  Its
+        airtime lands in the network stats like any other transmission.
+        """
+        ack = Packet.build(
+            target,
+            packet.header.src,
+            PayloadKind.CONTROL,
+            packet.header.seq.to_bytes(ACK_PAYLOAD_BYTES, "big"),
+            seq=packet.header.seq,
+        )
+        airtime = self.network.tdma.packet_airtime_ms(len(ack.payload))
+        self.network.stats.airtime_ms += airtime
+        self.stats.acks_sent += 1
+        self.stats.ack_airtime_ms += airtime
+        received, _ = self.network.channel.transmit(ack)
+        if received.intact:
+            return True
+        self.stats.acks_lost += 1
+        return False
+
+    def send(self, packet: Packet, raise_on_failure: bool = False) -> ARQResult:
+        """Send one packet reliably; retransmit until ACKed or exhausted.
+
+        Raises:
+            RetryExhausted: when ``raise_on_failure`` and at least one
+                target never acknowledged within the retry budget.
+            NetworkError: on routing errors (unknown source/destination),
+                exactly as :meth:`WirelessNetwork.send`.
+        """
+        if packet.header.dst == BROADCAST:
+            pending = [
+                n for n in self.network.node_ids if n != packet.header.src
+            ]
+        else:
+            pending = [packet.header.dst]
+        self.stats.packets += 1
+        delivered: dict[int, int] = {}
+        slot_ms = self.network.tdma.slot_ms()
+        needed_retry = False
+
+        for attempt in range(1, self.config.max_retries + 2):
+            if attempt > 1:
+                needed_retry = True
+                self.stats.retransmissions += 1
+                self.network.stats.retransmissions += 1
+                self.stats.backoff_ms += (
+                    self.config.backoff_slots_for(attempt - 1) * slot_ms
+                )
+            outcomes = self.network.transmit_to(packet, pending)
+            still_pending: list[int] = []
+            for target, outcome in outcomes.items():
+                acked = outcome.received and self._ack_roundtrip_ok(
+                    packet, target
+                )
+                if acked:
+                    delivered[target] = attempt
+                else:
+                    still_pending.append(target)
+            pending = still_pending
+            if not pending:
+                break
+
+        if needed_retry:
+            if pending:
+                self.stats.failed += 1
+            else:
+                self.stats.recovered += 1
+        else:
+            self.stats.delivered_first_try += 1
+        result = ARQResult(packet.header.seq, delivered, sorted(pending))
+        if pending and raise_on_failure:
+            raise RetryExhausted(
+                packet.header.seq, self.config.max_retries + 1, sorted(pending)
+            )
+        return result

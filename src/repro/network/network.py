@@ -5,10 +5,18 @@ applying the paper's receive policy: packets with corrupted *hash*
 payloads are dropped, corrupted *signal* payloads are delivered anyway
 (DTW tolerates bit flips), and a corrupted header always drops the packet
 since it cannot be routed (paper §3.4, §6.6).
+
+Fault-injection hooks: endpoints can be :meth:`unregistered
+<WirelessNetwork.unregister>` (a crashed implant) or put into a radio
+outage (registered but deaf and mute), and the channel model is pluggable
+so bursty Gilbert-Elliott noise can replace the memoryless default.
+Every transmit reports a per-target :class:`DeliveryOutcome`, which is
+what the ARQ layer in :mod:`repro.network.arq` builds on.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -29,6 +37,24 @@ DROP_ON_ERROR = {
 }
 
 
+class DeliveryOutcome(enum.Enum):
+    """What happened to one packet at one receiver."""
+
+    DELIVERED = "delivered"
+    DELIVERED_CORRUPTED = "delivered_corrupted"
+    DROPPED_HEADER = "dropped_header"
+    DROPPED_PAYLOAD = "dropped_payload"
+    DROPPED_OUTAGE = "dropped_outage"
+
+    @property
+    def received(self) -> bool:
+        """Did the receiver's application see the packet at all?"""
+        return self in (
+            DeliveryOutcome.DELIVERED,
+            DeliveryOutcome.DELIVERED_CORRUPTED,
+        )
+
+
 @dataclass
 class DeliveryStats:
     """Counters for one network's lifetime."""
@@ -37,7 +63,9 @@ class DeliveryStats:
     delivered: int = 0
     dropped_header: int = 0
     dropped_payload: int = 0
+    dropped_outage: int = 0
     delivered_corrupted: int = 0
+    retransmissions: int = 0
     airtime_ms: float = 0.0
 
     @property
@@ -49,6 +77,7 @@ class DeliveryStats:
             self.delivered
             + self.dropped_header
             + self.dropped_payload
+            + self.dropped_outage
         )
         return 1.0 - self.delivered / attempts if attempts else 0.0
 
@@ -62,52 +91,117 @@ class WirelessNetwork:
 
     Endpoints register a callback keyed by node id; :meth:`send` runs the
     channel per receiver (each receiver sees independent noise, as real
-    radio links do).
+    radio links do).  ``channel`` accepts any object with the
+    ``transmit(packet) -> (packet, n_flips)`` protocol
+    (:class:`~repro.network.channel.BitErrorChannel` by default,
+    :class:`~repro.network.channel.GilbertElliottChannel` for bursts).
     """
 
     tdma: TDMAConfig = field(default_factory=TDMAConfig)
     seed: int = 0
+    channel: object | None = None
     _receivers: dict[int, Receiver] = field(default_factory=dict)
     stats: DeliveryStats = field(default_factory=DeliveryStats)
 
     def __post_init__(self) -> None:
-        self._channel = BitErrorChannel(self.tdma.radio.bit_error_rate, self.seed)
+        if self.channel is None:
+            self.channel = BitErrorChannel(
+                self.tdma.radio.bit_error_rate, self.seed
+            )
+        self._outages: set[int] = set()
 
     def register(self, node_id: int, receiver: Receiver) -> None:
         if node_id in self._receivers:
             raise NetworkError(f"node {node_id} already registered")
         self._receivers[node_id] = receiver
 
+    def unregister(self, node_id: int) -> Receiver:
+        """Remove an endpoint (a crashed node); returns its old callback.
+
+        Subsequent broadcasts simply skip the node; addressing it directly
+        raises :class:`NetworkError` as for any unknown destination.
+        """
+        if node_id not in self._receivers:
+            raise NetworkError(f"node {node_id} not registered")
+        self._outages.discard(node_id)
+        return self._receivers.pop(node_id)
+
+    # -- radio outages ----------------------------------------------------------
+
+    def set_outage(self, node_id: int, out: bool = True) -> None:
+        """Put a registered node's radio into (or out of) an outage window.
+
+        An outaged node stays registered but cannot hear or be heard:
+        deliveries to or from it count as ``dropped_outage``.
+        """
+        if node_id not in self._receivers:
+            raise NetworkError(f"node {node_id} not registered")
+        if out:
+            self._outages.add(node_id)
+        else:
+            self._outages.discard(node_id)
+
+    def in_outage(self, node_id: int) -> bool:
+        return node_id in self._outages
+
     @property
     def node_ids(self) -> list[int]:
         return sorted(self._receivers)
 
-    def send(self, packet: Packet) -> None:
-        """Transmit a packet; deliveries follow the error policy."""
+    # -- transmission -----------------------------------------------------------
+
+    def send(self, packet: Packet) -> dict[int, DeliveryOutcome]:
+        """Transmit a packet; deliveries follow the error policy.
+
+        Returns the per-target outcomes (one entry per receiver for a
+        broadcast).  Routing errors are raised before any statistics are
+        touched, so a rejected send leaves no phantom traffic behind.
+        """
         if packet.header.src not in self._receivers:
             raise NetworkError(f"unknown source {packet.header.src}")
-        self.stats.sent += 1
-        self.stats.airtime_ms += self.tdma.packet_airtime_ms(len(packet.payload))
-
         if packet.header.dst == BROADCAST:
             targets = [n for n in self._receivers if n != packet.header.src]
         else:
             if packet.header.dst not in self._receivers:
                 raise NetworkError(f"unknown destination {packet.header.dst}")
             targets = [packet.header.dst]
+        return self.transmit_to(packet, targets)
 
+    def transmit_to(
+        self, packet: Packet, targets: list[int]
+    ) -> dict[int, DeliveryOutcome]:
+        """One on-air transmission towards an explicit target set.
+
+        The ARQ layer uses this to retransmit to only the unacknowledged
+        subset of a broadcast.  Each call is one radio burst: it spends one
+        packet's airtime regardless of how many receivers listen.
+        """
+        self.stats.sent += 1
+        self.stats.airtime_ms += self.tdma.packet_airtime_ms(len(packet.payload))
+        outcomes: dict[int, DeliveryOutcome] = {}
+        src_dark = packet.header.src in self._outages
         for target in targets:
-            received, _ = self._channel.transmit(packet)
-            self._deliver(target, received)
+            if target not in self._receivers:
+                raise NetworkError(f"unknown destination {target}")
+            if src_dark or target in self._outages:
+                self.stats.dropped_outage += 1
+                outcomes[target] = DeliveryOutcome.DROPPED_OUTAGE
+                continue
+            received, _ = self.channel.transmit(packet)
+            outcomes[target] = self._deliver(target, received)
+        return outcomes
 
-    def _deliver(self, target: int, packet: Packet) -> None:
+    def _deliver(self, target: int, packet: Packet) -> DeliveryOutcome:
         if not packet.header_ok:
             self.stats.dropped_header += 1
-            return
+            return DeliveryOutcome.DROPPED_HEADER
+        outcome = DeliveryOutcome.DELIVERED
         if not packet.payload_ok:
             if packet.header.kind in DROP_ON_ERROR:
                 self.stats.dropped_payload += 1
-                return
+                return DeliveryOutcome.DROPPED_PAYLOAD
             self.stats.delivered_corrupted += 1
+            outcome = DeliveryOutcome.DELIVERED_CORRUPTED
         self.stats.delivered += 1
         self._receivers[target](packet)
+        return outcome

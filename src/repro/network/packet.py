@@ -91,7 +91,14 @@ class Header:
         for name, bits in reversed(cls._FIELDS):
             values[name] = acc & ((1 << bits) - 1)
             acc >>= bits
-        values["kind"] = PayloadKind(values["kind"])
+        try:
+            values["kind"] = PayloadKind(values["kind"])
+        except ValueError:
+            # A bit flip can turn the 4-bit kind field into a value with no
+            # enum member.  Keep the raw integer: the header CRC flags the
+            # corruption, and IntEnum comparisons against plain ints still
+            # work in the drop policy.
+            pass
         return cls(**values)
 
 
@@ -167,6 +174,19 @@ class Packet:
         payload = raw[15:-4]
         payload_crc = int.from_bytes(raw[-4:], "big")
         return cls(Header.unpack(header_raw), payload, header_crc, payload_crc)
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "Packet | None":
+        """Total-function frame parser for untrusted bytes.
+
+        Unlike :meth:`from_wire`, this never raises: frames too short to
+        hold a header and both CRCs return ``None``, and any longer byte
+        string parses into a (possibly corrupted) packet whose ``header_ok``
+        / ``payload_ok`` predicates report the damage.
+        """
+        if len(raw) < 11 + 4 + 4:
+            return None
+        return cls.from_wire(raw)
 
 
 def packet_airtime_ms(payload_bytes: int, rate_mbps: float) -> float:

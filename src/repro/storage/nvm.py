@@ -142,6 +142,36 @@ class NVMDevice:
         """Read one full page."""
         return self.read(page_index, 0, PAGE_BYTES)
 
+    # -- fault injection ----------------------------------------------------------
+
+    @property
+    def programmed_pages(self) -> list[int]:
+        """Indices of currently-programmed pages (sorted)."""
+        return sorted(self._programmed)
+
+    def inject_bit_rot(self, page_index: int, bit_indices) -> int:
+        """Flip stored bits in place — NAND retention/disturb errors.
+
+        Only programmed pages rot (erased cells hold no charge to lose);
+        injecting into an unprogrammed page is a no-op.  No latency or
+        energy is booked: rot is physics, not an operation.
+
+        Returns:
+            The number of bits flipped.
+        """
+        from repro.network.channel import flip_bits
+
+        self._check_page(page_index)
+        if page_index not in self._programmed:
+            return 0
+        import numpy as np
+
+        idx = np.atleast_1d(np.asarray(bit_indices, dtype=np.int64))
+        if idx.size == 0:
+            return 0
+        self._pages[page_index] = flip_bits(self._pages[page_index], idx)
+        return int(idx.size)
+
     # -- derived rates ------------------------------------------------------------
 
     @staticmethod
