@@ -6,7 +6,13 @@ Usage::
     python -m repro table1              # PE catalog
     python -m repro fig8a               # architecture comparison
     python -m repro fig15a --reps 500   # Monte-Carlo sweeps
+    python -m repro trace seizure       # run a scenario under telemetry
     python -m repro all                 # everything (slow)
+
+``trace`` runs a canned scenario with a live telemetry handle, prints
+the metrics/span summary tables, and with ``--export out.trace.json``
+writes a Chrome trace-event file loadable in Perfetto or
+``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -170,6 +176,34 @@ def _export(args) -> None:
         print(path)
 
 
+def _trace(args) -> None:
+    from repro.eval.reporting import span_summary, telemetry_summary
+    from repro.telemetry import write_chrome_trace, write_metrics_csv
+    from repro.telemetry.scenarios import SCENARIOS, run_scenario
+
+    name = args.scenario or "seizure"
+    if name not in SCENARIOS:
+        known = "\n".join(
+            f"  {s.name:10s} {s.description}" for s in SCENARIOS.values()
+        )
+        print(f"unknown scenario {name!r}; available:\n{known}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    telemetry = run_scenario(name, seed=args.seed)
+    print(f"-- scenario {name!r} (seed {args.seed}), "
+          f"simulated time {telemetry.clock.now_ms:.2f} ms\n")
+    print(telemetry_summary(telemetry.registry))
+    print()
+    print(span_summary(telemetry.tracer))
+    if args.export:
+        path = write_chrome_trace(telemetry.tracer, args.export)
+        print(f"\nChrome trace written to {path} "
+              "(open in Perfetto / chrome://tracing)")
+    if args.csv:
+        path = write_metrics_csv(telemetry.registry, args.csv)
+        print(f"metrics CSV written to {path}")
+
+
 _COMMANDS: dict[str, Callable] = {
     "table1": _table1,
     "table3": _table3,
@@ -190,6 +224,7 @@ _COMMANDS: dict[str, Callable] = {
     "sec62": _sec62,
     "sec63": _sec63,
     "export": _export,
+    "trace": _trace,
 }
 
 
@@ -200,11 +235,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("target", help="'list', 'all', or one of: "
                         + ", ".join(sorted(set(_COMMANDS))))
+    parser.add_argument("scenario", nargs="?", default=None,
+                        help="scenario name for 'trace' (default: seizure)")
     parser.add_argument("--nodes", type=int, default=11)
     parser.add_argument("--power", type=float, default=15.0)
     parser.add_argument("--pairs", type=int, default=300)
     parser.add_argument("--packets", type=int, default=400)
     parser.add_argument("--reps", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="scenario seed for 'trace'")
+    parser.add_argument("--export", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON ('trace')")
+    parser.add_argument("--csv", default=None, metavar="PATH",
+                        help="write the metrics registry as CSV ('trace')")
     parser.add_argument("--out", default="results",
                         help="output directory for 'export'")
     args = parser.parse_args(argv)
@@ -214,13 +257,18 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.target == "all":
-        for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export"}):
+        for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export",
+                                             "trace"}):
             print(f"\n===== {name} =====")
             _COMMANDS[name](args)
         return 0
     command = _COMMANDS.get(args.target)
     if command is None:
-        parser.error(f"unknown target {args.target!r} (try 'list')")
+        print(f"unknown target {args.target!r}; available commands:",
+              file=sys.stderr)
+        for name in ("list", "all", *sorted(set(_COMMANDS))):
+            print(f"  {name}", file=sys.stderr)
+        return 2
     command(args)
     return 0
 

@@ -29,6 +29,7 @@ from repro.network.radio import EXTERNAL_RADIO, RadioSpec
 from repro.similarity.dtw import dtw_distance
 from repro.storage.controller import StorageController
 from repro.storage.nvm import NVMDevice
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike, TraceContext
 from repro.units import (
     ELECTRODE_RATE_BPS,
     ELECTRODES_PER_NODE,
@@ -218,6 +219,9 @@ class QueryEngine:
     seizure_flags: dict[int, set[int]] = field(default_factory=dict)
     dtw_threshold: float = 60.0
     dtw_band: int = 10
+    #: observability handle: per-node ``lookup`` spans, a ``merge`` span,
+    #: and the ``query.*`` counters land here
+    telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
 
     def _stored_windows(self, node: int) -> list[tuple[int, int]]:
         return sorted(self.controllers[node]._windows)
@@ -285,6 +289,7 @@ class QueryEngine:
         window_range: tuple[int, int],
         template: np.ndarray | None = None,
         dead_nodes: set[int] | None = None,
+        node_traces: dict[int, TraceContext | None] | None = None,
     ) -> DistributedQueryResult:
         """Run a query over the surviving nodes; never raise per node.
 
@@ -293,9 +298,16 @@ class QueryEngine:
         to ``failed_nodes`` and the query proceeds — partial answers beat
         lost sessions for interactive use.  Query-spec errors (bad kind,
         missing template) still raise: they are caller bugs, not faults.
+
+        Each node's scan runs under a ``lookup`` span; ``node_traces``
+        (node id -> :class:`~repro.telemetry.TraceContext`) lets a
+        distributed caller parent those spans onto the trace context the
+        node received on air, instead of the local span stack.
         """
         template_sig = self._template_signature(spec, template)
         dead = dead_nodes or set()
+        traces = node_traces or {}
+        tel = self.telemetry
         rows: list[QueryResultRow] = []
         queried: list[int] = []
         failed: list[int] = []
@@ -303,13 +315,26 @@ class QueryEngine:
             if node in dead:
                 failed.append(node)
                 continue
-            try:
-                rows.extend(
-                    self._node_rows(
+            with tel.span("lookup", trace=traces.get(node), node=node,
+                          kind=spec.kind) as span:
+                try:
+                    node_rows = self._node_rows(
                         node, spec, window_range, template, template_sig
                     )
-                )
-                queried.append(node)
-            except ScaloError:
-                failed.append(node)
-        return DistributedQueryResult(rows, queried, failed)
+                except ScaloError:
+                    failed.append(node)
+                    tel.inc("query.node_failures")
+                else:
+                    rows.extend(node_rows)
+                    queried.append(node)
+                    if tel.enabled:
+                        span.attrs["rows"] = len(node_rows)
+        with tel.span("merge", kind=spec.kind, rows=len(rows)):
+            result = DistributedQueryResult(rows, queried, failed)
+        if tel.enabled:
+            tel.inc("query.executed", kind=spec.kind)
+            tel.inc("query.rows_returned", len(rows), kind=spec.kind)
+            if result.degraded:
+                tel.inc("query.degraded")
+            tel.set_gauge("query.coverage", result.coverage, kind=spec.kind)
+        return result

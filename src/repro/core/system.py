@@ -16,9 +16,11 @@ from repro.core.node import ScaloNode
 from repro.core.thermal import DEFAULT_SPACING_MM, PlacementCheck, check_placement
 from repro.errors import ConfigurationError, NodeFailure
 from repro.hashing.lsh import LSHFamily
+from repro.network.arq import ARQConfig, ReliableLink
 from repro.network.network import WirelessNetwork
 from repro.network.packet import BROADCAST, Packet, PayloadKind
 from repro.network.tdma import TDMAConfig, TDMASchedule
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 from repro.units import ELECTRODES_PER_NODE, NODE_POWER_CAP_MW
 
 
@@ -33,6 +35,12 @@ class ScaloSystem:
     tdma: TDMAConfig = field(default_factory=TDMAConfig)
     lsh_measure: str = "dtw"
     seed: int = 0
+    #: when set, hash/query dissemination runs over a stop-and-wait
+    #: :class:`~repro.network.arq.ReliableLink` instead of fire-and-forget
+    arq: ARQConfig | None = None
+    #: injectable observability handle, threaded through the network,
+    #: every node's storage controller, and the query/scheduler paths
+    telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -48,20 +56,38 @@ class ScaloSystem:
             )
             for i in range(self.n_nodes)
         ]
-        self.network = WirelessNetwork(tdma=self.tdma, seed=self.seed)
+        for node in self.nodes:
+            node.storage.telemetry = self.telemetry
+        self.network = WirelessNetwork(
+            tdma=self.tdma, seed=self.seed, telemetry=self.telemetry
+        )
+        self.link: ReliableLink | None = (
+            ReliableLink(self.network, config=self.arq)
+            if self.arq is not None
+            else None
+        )
         self._inboxes: dict[int, list[Packet]] = {i: [] for i in range(self.n_nodes)}
         self._dead: set[int] = set()
+        self._query_seq = 0
         for node in self.nodes:
-            self.network.register(
-                node.node_id,
-                lambda pkt, nid=node.node_id: self._inboxes[nid].append(pkt),
-            )
+            self._register(node.node_id)
         self.clocks = [
             NodeClock(offset_us=float(off))
             for off in np.random.default_rng(self.seed).uniform(
                 -500, 500, self.n_nodes
             )
         ]
+
+    def _register(self, node_id: int) -> None:
+        """Join the network, through the ARQ link when one is configured."""
+
+        def receiver(pkt: Packet, nid: int = node_id) -> None:
+            self._inboxes[nid].append(pkt)
+
+        if self.link is not None:
+            self.link.attach(node_id, receiver)
+        else:
+            self.network.register(node_id, receiver)
 
     # -- node liveness -----------------------------------------------------------------
 
@@ -104,9 +130,7 @@ class ScaloSystem:
             return
         self._dead.discard(node_id)
         self._inboxes[node_id] = []
-        self.network.register(
-            node_id, lambda pkt, nid=node_id: self._inboxes[nid].append(pkt)
-        )
+        self._register(node_id)
 
     def reschedule(self, flows, power_budget_mw: float | None = None):
         """Re-run the ILP over the surviving nodes only.
@@ -135,6 +159,7 @@ class ScaloSystem:
                 self.power_cap_mw if power_budget_mw is None else power_budget_mw
             ),
             tdma=self.tdma,
+            telemetry=self.telemetry,
         ).solve()
 
     # -- placement / maintenance ------------------------------------------------------
@@ -154,15 +179,28 @@ class ScaloSystem:
 
     def broadcast_hashes(self, src: int, signatures: list[tuple[int, ...]],
                          seq: int = 0) -> None:
-        """Pack and broadcast one node's hash batch."""
+        """Pack and broadcast one node's hash batch.
+
+        Opens a ``broadcast`` span whose trace context rides on the
+        packet metadata, so receiver-side work (and any ARQ retries) can
+        join the same distributed trace.
+        """
         if not self.is_alive(src):
             raise NodeFailure(src, "cannot broadcast hashes")
         payload = b"".join(self.lsh.pack(sig) for sig in signatures)
-        packet = Packet.build(
-            src, BROADCAST, PayloadKind.HASHES, payload, seq=seq,
-            time_ticks=seq & 0xFFFFFFFF,
-        )
-        self.network.send(packet)
+        tel = self.telemetry
+        with tel.span(
+            "broadcast", kind="hashes", node=src, n_signatures=len(signatures)
+        ):
+            packet = Packet.build(
+                src, BROADCAST, PayloadKind.HASHES, payload, seq=seq,
+                time_ticks=seq & 0xFFFFFFFF, trace=tel.current_context(),
+            )
+            tel.inc("system.hash_broadcasts")
+            if self.link is not None:
+                self.link.send(packet)
+            else:
+                self.network.send(packet)
 
     def drain_inbox(self, node_id: int) -> list[Packet]:
         packets = self._inboxes[node_id]
@@ -191,14 +229,28 @@ class ScaloSystem:
         windows = np.asarray(windows)
         if windows.shape[0] != self.n_nodes:
             raise ConfigurationError("first axis must be nodes")
-        return [
-            node.ingest_window(windows[node.node_id])
-            if node.node_id not in self._dead
-            else []
-            for node in self.nodes
-        ]
+        tel = self.telemetry
+        with tel.span("ingest", n_nodes=len(self.alive_node_ids)):
+            batches = [
+                node.ingest_window(windows[node.node_id])
+                if node.node_id not in self._dead
+                else []
+                for node in self.nodes
+            ]
+        tel.inc("system.windows_ingested", len(self.alive_node_ids))
+        return batches
 
     # -- distributed queries ------------------------------------------------------------
+
+    def _query_engine(self, seizure_flags: dict[int, set[int]] | None):
+        from repro.apps.queries import QueryEngine
+
+        return QueryEngine(
+            controllers=[node.storage for node in self.nodes],
+            lsh=self.lsh,
+            seizure_flags=seizure_flags or {},
+            telemetry=self.telemetry,
+        )
 
     def query(self, spec, window_range: tuple[int, int], template=None,
               seizure_flags: dict[int, set[int]] | None = None):
@@ -206,17 +258,102 @@ class ScaloSystem:
 
         A dead node's storage is unreachable, so the result is tagged
         degraded with the coverage actually achieved rather than raising.
+        The whole operation runs under one ``query`` span with per-node
+        ``lookup`` children and a final ``merge`` (local execution: no
+        network dissemination — see :meth:`query_distributed`).
 
         Returns:
             :class:`~repro.apps.queries.DistributedQueryResult`.
         """
-        from repro.apps.queries import QueryEngine
+        from repro.apps.queries import QUERY_OVERHEAD_MS
 
-        engine = QueryEngine(
-            controllers=[node.storage for node in self.nodes],
-            lsh=self.lsh,
-            seizure_flags=seizure_flags or {},
-        )
-        return engine.execute_resilient(
-            spec, window_range, template, dead_nodes=self._dead
-        )
+        tel = self.telemetry
+        engine = self._query_engine(seizure_flags)
+        with tel.span("query", kind=spec.kind):
+            tel.advance_ms(QUERY_OVERHEAD_MS)  # MC parse + dispatch
+            return engine.execute_resilient(
+                spec, window_range, template, dead_nodes=self._dead
+            )
+
+    def query_distributed(
+        self,
+        spec,
+        window_range: tuple[int, int],
+        template=None,
+        seizure_flags: dict[int, set[int]] | None = None,
+        coordinator: int | None = None,
+    ):
+        """One end-to-end distributed query over the real network.
+
+        Unlike :meth:`query` (which scans storage directly), this method
+        disseminates the query descriptor on air: the coordinator
+        broadcasts a QUERY packet (reliably, when the system has an ARQ
+        link), every node that heard it scans its own storage, and the
+        partial answers merge at the coordinator.  Each stage is a span
+        in one trace — ``query`` → ``broadcast`` (with any ``arq-retry``
+        children) → per-node ``lookup`` → ``merge`` — and the trace id
+        crosses node boundaries on the packet metadata.  A node that
+        never received the descriptor (outage, retries exhausted) counts
+        as failed, exactly like a dead one.
+
+        Returns:
+            :class:`~repro.apps.queries.DistributedQueryResult`.
+        """
+        from repro.apps.queries import QUERY_OVERHEAD_MS
+
+        alive = self.alive_node_ids
+        if not alive:
+            raise NodeFailure(-1, "no surviving nodes to query")
+        if coordinator is None:
+            coordinator = alive[0]
+        if not self.is_alive(coordinator):
+            raise NodeFailure(coordinator, "coordinator is down")
+
+        tel = self.telemetry
+        engine = self._query_engine(seizure_flags)
+        with tel.span("query", kind=spec.kind, coordinator=coordinator):
+            tel.advance_ms(QUERY_OVERHEAD_MS)  # MC parse + dispatch
+            payload = (
+                f"{spec.kind}:{window_range[0]}:{window_range[1]}".encode()
+            )
+            with tel.span("broadcast", kind="query", node=coordinator):
+                # queries get their own sequence space so back-to-back
+                # queries are never mistaken for ARQ duplicates
+                self._query_seq = (self._query_seq + 1) & 0xFFFF
+                packet = Packet.build(
+                    coordinator, BROADCAST, PayloadKind.QUERY, payload,
+                    seq=self._query_seq, trace=tel.current_context(),
+                )
+                tel.inc("system.query_broadcasts")
+                if self.link is not None:
+                    self.link.send(packet)
+                else:
+                    self.network.send(packet)
+
+            # collect the descriptor at each receiver: a node answers only
+            # if it actually heard the query; its lookup span joins the
+            # trace context carried by the packet it received
+            node_traces = {coordinator: None}
+            unreachable: set[int] = set()
+            for node in alive:
+                if node == coordinator:
+                    continue
+                inbox = self._inboxes[node]
+                heard = [
+                    p for p in inbox
+                    if p.header.kind == PayloadKind.QUERY
+                    and p.header.src == coordinator
+                ]
+                self._inboxes[node] = [p for p in inbox if p not in heard]
+                if heard:
+                    node_traces[node] = heard[-1].trace
+                else:
+                    unreachable.add(node)
+                    tel.inc("system.query_unreachable_nodes")
+            return engine.execute_resilient(
+                spec,
+                window_range,
+                template,
+                dead_nodes=self._dead | unreachable,
+                node_traces=node_traces,
+            )

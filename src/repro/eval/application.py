@@ -17,6 +17,7 @@ from repro.scheduler.model import (
     seizure_detection_task,
     spike_sorting_task,
 )
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 from repro.units import ELECTRODES_PER_NODE, NODE_POWER_CAP_MW
 
 #: The Fig. 9a priority triples (detection : hash compare : DTW compare).
@@ -34,6 +35,7 @@ def seizure_propagation_schedule(
     n_nodes: int,
     weights: tuple[float, float, float] = (1, 1, 1),
     power_mw: float = NODE_POWER_CAP_MW,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
 ):
     """Solve the three-flow seizure-propagation allocation."""
     flows = [
@@ -45,7 +47,8 @@ def seizure_propagation_schedule(
              weight=weights[2], electrode_cap=ELECTRODES_PER_NODE),
     ]
     return SchedulerProblem(n_nodes=n_nodes, flows=flows,
-                            power_budget_mw=power_mw).solve()
+                            power_budget_mw=power_mw,
+                            telemetry=telemetry).solve()
 
 
 def fig9a(node_counts=FIG9_NODE_COUNTS, power_mw: float = NODE_POWER_CAP_MW

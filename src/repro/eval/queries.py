@@ -1,8 +1,17 @@
-"""Fig. 10: interactive query throughput over 11 nodes."""
+"""Fig. 10: interactive query throughput over 11 nodes.
+
+The grid is recorded into a :class:`~repro.telemetry.MetricsRegistry`
+(gauges ``fig10.qps{query=,range_ms=,fraction=}``, plus latency and
+power) and the returned dict is read *back* from the registry, so the
+registry is the single source of truth and any telemetry consumer — the
+CLI summary table, the JSON/CSV exporters — sees exactly the published
+numbers.
+"""
 
 from __future__ import annotations
 
 from repro.apps.queries import QueryCostModel, QuerySpec, query_data_bytes
+from repro.telemetry import MetricsRegistry
 
 #: The paper's four time ranges (ms) — 7, 24, 42, 60 MB over 11 nodes.
 TIME_RANGES_MS = (110.0, 400.0, 700.0, 1000.0)
@@ -11,23 +20,47 @@ TIME_RANGES_MS = (110.0, 400.0, 700.0, 1000.0)
 MATCH_FRACTIONS = (0.05, 0.50, 1.00)
 
 
-def fig10(n_nodes: int = 11) -> dict[str, dict[tuple[float, float], float]]:
-    """QPS per query: {query: {(time_range_ms, match_fraction): qps}}."""
+def _record_cell(
+    registry: MetricsRegistry,
+    model: QueryCostModel,
+    query: str,
+    time_range: float,
+    fraction: float,
+) -> None:
+    cost = model.cost(QuerySpec(query.lower(), time_range, fraction))
+    labels = {"query": query, "range_ms": time_range, "fraction": fraction}
+    registry.set_gauge("fig10.qps", cost.queries_per_second, **labels)
+    registry.set_gauge("fig10.latency_ms", cost.latency_ms, **labels)
+    registry.set_gauge("fig10.power_mw", cost.power_mw, **labels)
+
+
+def fig10_registry(
+    n_nodes: int = 11, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Record the full Fig. 10 grid into a metrics registry."""
+    registry = registry if registry is not None else MetricsRegistry()
     model = QueryCostModel(n_nodes=n_nodes)
+    for time_range in TIME_RANGES_MS:
+        for fraction in MATCH_FRACTIONS:
+            _record_cell(registry, model, "Q1", time_range, fraction)
+            _record_cell(registry, model, "Q2", time_range, fraction)
+        _record_cell(registry, model, "Q3", time_range, 1.0)
+    return registry
+
+
+def fig10(
+    n_nodes: int = 11, registry: MetricsRegistry | None = None
+) -> dict[str, dict[tuple[float, float], float]]:
+    """QPS per query: {query: {(time_range_ms, match_fraction): qps}}."""
+    registry = fig10_registry(n_nodes, registry)
     out: dict[str, dict[tuple[float, float], float]] = {
         "Q1": {}, "Q2": {}, "Q3": {}
     }
-    for time_range in TIME_RANGES_MS:
-        for fraction in MATCH_FRACTIONS:
-            out["Q1"][(time_range, fraction)] = model.cost(
-                QuerySpec("q1", time_range, fraction)
-            ).queries_per_second
-            out["Q2"][(time_range, fraction)] = model.cost(
-                QuerySpec("q2", time_range, fraction)
-            ).queries_per_second
-        out["Q3"][(time_range, 1.0)] = model.cost(
-            QuerySpec("q3", time_range)
-        ).queries_per_second
+    for labels, qps in registry.series("fig10.qps").items():
+        cell = dict(labels)
+        out[cell["query"]][
+            (float(cell["range_ms"]), float(cell["fraction"]))
+        ] = qps
     return out
 
 

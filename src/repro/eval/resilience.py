@@ -21,11 +21,12 @@ import numpy as np
 from repro.apps.queries import DistributedQueryResult, QuerySpec
 from repro.core.system import ScaloSystem
 from repro.eval.network_errors import BER_POINTS, HASH_PAYLOAD_BYTES
-from repro.network.arq import ARQConfig, ARQStats, ReliableLink
+from repro.network.arq import ARQConfig, ReliableLink
 from repro.network.network import WirelessNetwork
 from repro.network.packet import Packet, PayloadKind
 from repro.network.radio import LOW_POWER
 from repro.network.tdma import TDMAConfig
+from repro.telemetry import NULL_TELEMETRY, Telemetry, TelemetryLike
 
 
 @dataclass
@@ -72,11 +73,21 @@ def arq_recovery(
     n_packets: int = 400,
     config: ARQConfig | None = None,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> ResilienceResult:
-    """Send hash packets point-to-point under ARQ at one BER."""
+    """Send hash packets point-to-point under ARQ at one BER.
+
+    The result is read back from the telemetry registry — the single
+    source of truth for ARQ/airtime accounting — rather than from ad-hoc
+    stat structs.  Pass an existing ``telemetry`` handle to accumulate
+    the run into a larger session (the sweep gives each point its own).
+    """
     config = config or ARQConfig()
+    telemetry = telemetry if telemetry is not None else Telemetry()
     radio = replace(LOW_POWER, bit_error_rate=ber)
-    network = WirelessNetwork(tdma=TDMAConfig(radio=radio), seed=seed)
+    network = WirelessNetwork(
+        tdma=TDMAConfig(radio=radio), seed=seed, telemetry=telemetry
+    )
     link = ReliableLink(network, config=config)
     link.attach(0, lambda p: None)
     link.attach(1, lambda p: None)
@@ -87,17 +98,21 @@ def arq_recovery(
         packet = Packet.build(0, 1, PayloadKind.HASHES, payload, seq=i & 0xFFFF)
         link.send(packet)
 
-    stats: ARQStats = link.stats
+    reg = telemetry.registry
+    # ``network.airtime_ms`` books data bursts only; ACKs are booked by
+    # the ARQ layer under ``arq.ack_airtime_ms`` — their sum is the total
+    # time the medium was busy
     return ResilienceResult(
         ber=ber,
-        packets=stats.packets,
-        first_try=stats.delivered_first_try,
-        recovered=stats.recovered,
-        unrecovered=stats.failed,
-        retransmissions=stats.retransmissions,
-        data_airtime_ms=network.stats.airtime_ms,
-        ack_airtime_ms=stats.ack_airtime_ms,
-        backoff_ms=stats.backoff_ms,
+        packets=int(reg.counter("arq.packets")),
+        first_try=int(reg.counter("arq.delivered_first_try")),
+        recovered=int(reg.counter("arq.recovered")),
+        unrecovered=int(reg.counter("arq.failed")),
+        retransmissions=int(reg.counter("arq.retries")),
+        data_airtime_ms=reg.counter("network.airtime_ms")
+        + reg.counter("arq.ack_airtime_ms"),
+        ack_airtime_ms=reg.counter("arq.ack_airtime_ms"),
+        backoff_ms=reg.counter("arq.backoff_ms"),
     )
 
 
@@ -120,16 +135,20 @@ def crash_query_degradation(
     n_windows: int = 6,
     crash_node: int = 1,
     seed: int = 0,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
 ) -> DistributedQueryResult:
     """Lose one implant mid-session; show queries keep answering.
 
     Ingests a few windows fleet-wide, crashes one node, then runs a Q3
     time-range query over the survivors.  The returned result is tagged
     ``degraded`` with coverage ``(n_nodes - 1) / n_nodes`` — the paper's
-    availability story under a real node failure.
+    availability story under a real node failure.  With a live
+    ``telemetry`` handle the degradation shows up as ``query.degraded``
+    and a sub-1.0 ``query.coverage`` gauge.
     """
     system = ScaloSystem(
-        n_nodes=n_nodes, electrodes_per_node=electrodes_per_node, seed=seed
+        n_nodes=n_nodes, electrodes_per_node=electrodes_per_node, seed=seed,
+        telemetry=telemetry,
     )
     rng = np.random.default_rng(seed)
     from repro.units import WINDOW_SAMPLES

@@ -15,6 +15,13 @@ so throughput numbers measured above this layer include the recovery
 overhead.  Receivers attached through :meth:`ReliableLink.attach` are
 wrapped with per-(src, seq) duplicate suppression, because a lost ACK
 makes the sender retransmit a packet the application already saw.
+
+Observability: the link shares the network's injectable telemetry
+handle.  Every counter in :class:`ARQStats` is mirrored into the metrics
+registry under the ``arq.*`` namespace (``arq.retries``,
+``arq.acks_lost``, ``arq.backoff_ms``, the ``arq.attempts`` histogram),
+and each retransmission opens an ``arq-retry`` span covering its backoff
+and burst, so recovery cost shows up inside the owning query's trace.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError, RetryExhausted
 from repro.network.network import Receiver, WirelessNetwork
 from repro.network.packet import BROADCAST, Packet, PayloadKind
+from repro.telemetry import TelemetryLike
 
 #: ACK payload: the acknowledged sequence number, big-endian.
 ACK_PAYLOAD_BYTES = 2
@@ -109,8 +117,15 @@ class ReliableLink:
     stats: ARQStats = field(default_factory=ARQStats)
 
     def __post_init__(self) -> None:
-        # (src, dst, seq) triples already handed to the application
-        self._seen: set[tuple[int, int, int]] = set()
+        # (src, dst, kind, seq) already handed to the application; kind is
+        # part of the key because sequence spaces are per payload stream
+        # (a HASHES seq=0 must not suppress a later QUERY seq=0)
+        self._seen: set[tuple[int, int, PayloadKind, int]] = set()
+
+    @property
+    def telemetry(self) -> TelemetryLike:
+        """The link reports into its network's telemetry handle."""
+        return self.network.telemetry
 
     # -- receive side -----------------------------------------------------------
 
@@ -118,9 +133,13 @@ class ReliableLink:
         """Register an endpoint behind duplicate suppression."""
 
         def deduped(packet: Packet, _dst: int = node_id) -> None:
-            key = (packet.header.src, _dst, packet.header.seq)
+            key = (
+                packet.header.src, _dst, packet.header.kind,
+                packet.header.seq,
+            )
             if key in self._seen:
                 self.stats.duplicates_suppressed += 1
+                self.telemetry.inc("arq.duplicates_suppressed")
                 return
             self._seen.add(key)
             receiver(packet)
@@ -147,10 +166,16 @@ class ReliableLink:
         self.network.stats.airtime_ms += airtime
         self.stats.acks_sent += 1
         self.stats.ack_airtime_ms += airtime
+        tel = self.telemetry
+        if tel.enabled:
+            tel.inc("arq.acks_sent")
+            tel.inc("arq.ack_airtime_ms", airtime)
+            tel.advance_ms(airtime)
         received, _ = self.network.channel.transmit(ack)
         if received.intact:
             return True
         self.stats.acks_lost += 1
+        tel.inc("arq.acks_lost")
         return False
 
     def send(self, packet: Packet, raise_on_failure: bool = False) -> ARQResult:
@@ -169,24 +194,38 @@ class ReliableLink:
         else:
             pending = [packet.header.dst]
         self.stats.packets += 1
+        tel = self.telemetry
+        tel.inc("arq.packets")
         delivered: dict[int, int] = {}
         slot_ms = self.network.tdma.slot_ms()
         needed_retry = False
+        attempts_used = 0
 
         for attempt in range(1, self.config.max_retries + 2):
+            attempts_used = attempt
             if attempt > 1:
                 needed_retry = True
                 self.stats.retransmissions += 1
-                self.network.stats.retransmissions += 1
-                self.stats.backoff_ms += (
+                backoff_ms = (
                     self.config.backoff_slots_for(attempt - 1) * slot_ms
                 )
-            outcomes = self.network.transmit_to(packet, pending)
+                self.stats.backoff_ms += backoff_ms
+                if tel.enabled:
+                    tel.inc("arq.retries")
+                    tel.inc("arq.backoff_ms", backoff_ms)
+                    tel.advance_ms(backoff_ms)
+                with tel.span(
+                    "arq-retry",
+                    trace=packet.trace,
+                    seq=packet.header.seq,
+                    attempt=attempt,
+                    pending=len(pending),
+                ):
+                    outcomes = self._attempt(packet, pending)
+            else:
+                outcomes = self._attempt(packet, pending)
             still_pending: list[int] = []
-            for target, outcome in outcomes.items():
-                acked = outcome.received and self._ack_roundtrip_ok(
-                    packet, target
-                )
+            for target, acked in outcomes.items():
                 if acked:
                     delivered[target] = attempt
                 else:
@@ -198,13 +237,26 @@ class ReliableLink:
         if needed_retry:
             if pending:
                 self.stats.failed += 1
+                tel.inc("arq.failed")
             else:
                 self.stats.recovered += 1
+                tel.inc("arq.recovered")
         else:
             self.stats.delivered_first_try += 1
+            tel.inc("arq.delivered_first_try")
+        tel.observe("arq.attempts", attempts_used)
         result = ARQResult(packet.header.seq, delivered, sorted(pending))
         if pending and raise_on_failure:
             raise RetryExhausted(
                 packet.header.seq, self.config.max_retries + 1, sorted(pending)
             )
         return result
+
+    def _attempt(self, packet: Packet, pending: list[int]) -> dict[int, bool]:
+        """One burst plus ACK round-trips: target -> acknowledged."""
+        outcomes = self.network.transmit_to(packet, pending)
+        return {
+            target: outcome.received
+            and self._ack_roundtrip_ok(packet, target)
+            for target, outcome in outcomes.items()
+        }

@@ -17,13 +17,14 @@ what the ARQ layer in :mod:`repro.network.arq` builds on.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.errors import NetworkError
 from repro.network.channel import BitErrorChannel
 from repro.network.packet import BROADCAST, Packet, PayloadKind
 from repro.network.tdma import TDMAConfig
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 
 #: Payload kinds that are dropped when their CRC fails.
 DROP_ON_ERROR = {
@@ -57,7 +58,13 @@ class DeliveryOutcome(enum.Enum):
 
 @dataclass
 class DeliveryStats:
-    """Counters for one network's lifetime."""
+    """Counters for one network's lifetime.
+
+    Retransmission counts live with the ARQ layer that causes them
+    (:class:`~repro.network.arq.ARQStats` and the ``arq.retries``
+    registry counter) — this struct only books what the medium itself
+    sees: bursts, deliveries, drops, and airtime.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -65,7 +72,6 @@ class DeliveryStats:
     dropped_payload: int = 0
     dropped_outage: int = 0
     delivered_corrupted: int = 0
-    retransmissions: int = 0
     airtime_ms: float = 0.0
 
     @property
@@ -102,6 +108,9 @@ class WirelessNetwork:
     channel: object | None = None
     _receivers: dict[int, Receiver] = field(default_factory=dict)
     stats: DeliveryStats = field(default_factory=DeliveryStats)
+    #: Injectable observability handle; the no-op default keeps the
+    #: transmit path byte-identical to an uninstrumented run.
+    telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
 
     def __post_init__(self) -> None:
         if self.channel is None:
@@ -176,8 +185,15 @@ class WirelessNetwork:
         subset of a broadcast.  Each call is one radio burst: it spends one
         packet's airtime regardless of how many receivers listen.
         """
+        airtime_ms = self.tdma.packet_airtime_ms(len(packet.payload))
         self.stats.sent += 1
-        self.stats.airtime_ms += self.tdma.packet_airtime_ms(len(packet.payload))
+        self.stats.airtime_ms += airtime_ms
+        tel = self.telemetry
+        if tel.enabled:
+            tel.inc("network.packets_sent")
+            tel.inc("network.airtime_ms", airtime_ms)
+            tel.inc("network.payload_bytes", len(packet.payload))
+            tel.advance_ms(airtime_ms)
         outcomes: dict[int, DeliveryOutcome] = {}
         src_dark = packet.header.src in self._outages
         for target in targets:
@@ -188,7 +204,22 @@ class WirelessNetwork:
                 outcomes[target] = DeliveryOutcome.DROPPED_OUTAGE
                 continue
             received, _ = self.channel.transmit(packet)
+            if received is not packet and packet.trace is not None:
+                # the channel reparses corrupted frames from wire bytes,
+                # which strips the out-of-band trace context — re-attach
+                received = replace(received, trace=packet.trace)
             outcomes[target] = self._deliver(target, received)
+        if tel.enabled:
+            for outcome in outcomes.values():
+                if outcome is DeliveryOutcome.DELIVERED:
+                    tel.inc("network.delivered")
+                elif outcome is DeliveryOutcome.DELIVERED_CORRUPTED:
+                    tel.inc("network.delivered", corrupted="true")
+                else:
+                    tel.inc(
+                        "network.dropped",
+                        reason=outcome.value.removeprefix("dropped_"),
+                    )
         return outcomes
 
     def _deliver(self, target: int, packet: Packet) -> DeliveryOutcome:

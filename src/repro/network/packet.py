@@ -19,10 +19,14 @@ Header layout (84 bits)::
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, NetworkError
 from repro.network.crc import crc32
+
+if TYPE_CHECKING:
+    from repro.telemetry import TraceContext
 
 #: Maximum payload size (bytes).
 MAX_PAYLOAD_BYTES = 256
@@ -110,6 +114,14 @@ class Packet:
     payload: bytes
     header_crc: int
     payload_crc: int
+    #: Distributed-tracing context riding along as out-of-band metadata.
+    #: It is NOT part of the wire format (the 84-bit header is the
+    #: paper's), so it never affects CRCs, airtime, or equality — the
+    #: network re-attaches it across the channel the way an RPC stack
+    #: carries trace headers outside the application payload.
+    trace: "TraceContext | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @classmethod
     def build(
@@ -121,6 +133,7 @@ class Packet:
         flow: int = 0,
         seq: int = 0,
         time_ticks: int = 0,
+        trace: "TraceContext | None" = None,
     ) -> "Packet":
         if len(payload) > MAX_PAYLOAD_BYTES:
             raise NetworkError(
@@ -132,6 +145,7 @@ class Packet:
             payload=payload,
             header_crc=crc32(header.pack()),
             payload_crc=crc32(payload),
+            trace=trace,
         )
 
     # -- integrity ---------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.scheduler.model import (
     TaskModel,
 )
 from repro.storage.nvm import NVMDevice
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 from repro.units import NODE_POWER_CAP_MW, electrodes_to_mbps
 
 #: Breakpoints used to convexify quadratic power terms.
@@ -125,6 +126,9 @@ class SchedulerProblem:
     round_overhead_ms: float = 0.0
     #: hard upper bound used when a flow has no electrode cap
     unbounded_cap: float = 4096.0
+    #: observability handle: books ``scheduler.solves`` and the
+    #: wall-clock ``scheduler.ilp_solve_ms`` histogram around the LP
+    telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -315,16 +319,22 @@ class SchedulerProblem:
         bounds = [(0.0, caps[i]) for i in range(n_flows)]
         bounds += [(0.0, 1.0)] * (n_vars - n_flows)
 
-        result = linprog(
-            c,
-            A_ub=np.vstack(a_ub) if a_ub else None,
-            b_ub=np.asarray(b_ub) if b_ub else None,
-            A_eq=np.vstack(a_eq) if a_eq else None,
-            b_eq=np.asarray(b_eq) if b_eq else None,
-            bounds=bounds,
-            method="highs",
-        )
+        tel = self.telemetry
+        with tel.time("scheduler.ilp_solve_ms"), tel.span(
+            "ilp-solve", n_nodes=self.n_nodes, n_flows=n_flows
+        ):
+            result = linprog(
+                c,
+                A_ub=np.vstack(a_ub) if a_ub else None,
+                b_ub=np.asarray(b_ub) if b_ub else None,
+                A_eq=np.vstack(a_eq) if a_eq else None,
+                b_eq=np.asarray(b_eq) if b_eq else None,
+                bounds=bounds,
+                method="highs",
+            )
+        tel.inc("scheduler.solves")
         if not result.success:
+            tel.inc("scheduler.solve_failures")
             raise SchedulingError(f"LP failed: {result.message}")
 
         allocations = []
@@ -349,6 +359,22 @@ class SchedulerProblem:
             node_power += task.dynamic_mw(e)
             utilisation += airtime / task.period_ms if mult else 0.0
 
+        if tel.enabled:
+            tel.set_gauge(
+                "scheduler.node_power_mw", node_power, nodes=self.n_nodes
+            )
+            tel.set_gauge(
+                "scheduler.network_utilisation",
+                utilisation,
+                nodes=self.n_nodes,
+            )
+            for alloc in allocations:
+                tel.set_gauge(
+                    "scheduler.electrodes_per_node",
+                    alloc.electrodes_per_node,
+                    flow=alloc.flow.task.name,
+                    nodes=self.n_nodes,
+                )
         return Schedule(
             allocations=allocations,
             n_nodes=self.n_nodes,

@@ -24,6 +24,7 @@ from repro.storage.layout import (
 )
 from repro.storage.nvm import NVMDevice, PAGE_BYTES
 from repro.storage.partitions import PartitionTable
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 
 #: SC SRAM buffer size (paper §5: sized to 24 KB from the NVSim numbers).
 SC_BUFFER_BYTES = 24 * 1024
@@ -47,6 +48,22 @@ class StorageController:
     table: PartitionTable = field(default=None)  # type: ignore[assignment]
     #: accumulated SC + layout latency (ms) since reset
     busy_ms: float = 0.0
+    #: injectable observability handle (``storage.*`` metrics); the SC's
+    #: simulated busy time advances the telemetry clock on each access
+    telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
+
+    def _meter(self, op: str, busy0: float, reads0: int, writes0: int) -> None:
+        """Book one storage operation's deltas into the registry."""
+        tel = self.telemetry
+        stats = self.device.stats
+        tel.inc(f"storage.{op}")
+        if stats.page_reads > reads0:
+            tel.inc("storage.nvm_reads", stats.page_reads - reads0)
+        if stats.page_writes > writes0:
+            tel.inc("storage.nvm_writes", stats.page_writes - writes0)
+        tel.advance_ms(self.busy_ms - busy0)
+        tel.set_gauge("storage.busy_ms", self.busy_ms)
+        tel.set_gauge("storage.nvm_energy_nj", stats.dynamic_energy_nj)
 
     def __post_init__(self) -> None:
         if self.table is None:
@@ -122,9 +139,18 @@ class StorageController:
         data = samples.astype("<i2").tobytes()
         if len(data) > SC_BUFFER_BYTES:
             raise StorageError("window larger than the SC write buffer")
+        metered = self.telemetry.enabled
+        if metered:
+            busy0, reads0, writes0 = (
+                self.busy_ms,
+                self.device.stats.page_reads,
+                self.device.stats.page_writes,
+            )
         address = self._append_bytes("signals", data)
         self._windows[(electrode, window_index)] = _StoredObject(address, len(data))
         self.busy_ms += SC_LATENCY_FREE_MS + CHUNKED_WRITE_MS_PER_WINDOW
+        if metered:
+            self._meter("windows_stored", busy0, reads0, writes0)
 
     def store_channel_windows(
         self, window_index: int, windows: np.ndarray
@@ -144,8 +170,17 @@ class StorageController:
             raise StorageError(
                 f"no stored window (electrode={electrode}, index={window_index})"
             ) from None
+        metered = self.telemetry.enabled
+        if metered:
+            busy0, reads0, writes0 = (
+                self.busy_ms,
+                self.device.stats.page_reads,
+                self.device.stats.page_writes,
+            )
         data = self._read_bytes(obj.address, obj.length)
         self.busy_ms += SC_LATENCY_FREE_MS + CHUNKED_READ_MS_PER_WINDOW
+        if metered:
+            self._meter("windows_read", busy0, reads0, writes0)
         return np.frombuffer(data, dtype="<i2").astype(np.int64)
 
     def has_window(self, electrode: int, window_index: int) -> bool:
@@ -164,11 +199,20 @@ class StorageController:
             raise StorageError("mixed signature widths in one batch")
         flat = [component for sig in signatures for component in sig]
         data = np.asarray(flat, dtype="<u2").tobytes()
+        metered = self.telemetry.enabled
+        if metered:
+            busy0, reads0, writes0 = (
+                self.busy_ms,
+                self.device.stats.page_reads,
+                self.device.stats.page_writes,
+            )
         address = self._append_bytes("hashes", data)
         self._hashes[window_index] = _StoredObject(address, len(data))
         self._hash_meta[window_index] = (time_ms, len(signatures), n_components)
         self._hash_times.append(time_ms)
         self.busy_ms += SC_LATENCY_FREE_MS
+        if metered:
+            self._meter("hash_batches_stored", busy0, reads0, writes0)
 
     def read_hash_batch(self, window_index: int) -> list[tuple[int, ...]]:
         try:
@@ -176,9 +220,18 @@ class StorageController:
             _, n_signatures, n_components = self._hash_meta[window_index]
         except KeyError:
             raise StorageError(f"no stored hashes for window {window_index}") from None
+        metered = self.telemetry.enabled
+        if metered:
+            busy0, reads0, writes0 = (
+                self.busy_ms,
+                self.device.stats.page_reads,
+                self.device.stats.page_writes,
+            )
         data = self._read_bytes(obj.address, obj.length)
         flat = np.frombuffer(data, dtype="<u2")
         self.busy_ms += SC_LATENCY_FREE_MS
+        if metered:
+            self._meter("hash_batches_read", busy0, reads0, writes0)
         return [
             tuple(int(x) for x in flat[i * n_components : (i + 1) * n_components])
             for i in range(n_signatures)

@@ -1,0 +1,181 @@
+"""Zero-dependency metrics and tracing for the SCALO reproduction.
+
+The subsystem has three moving parts, all keyed to *simulated* time
+(TDMA slots, packet airtimes, analytical-model microseconds — never the
+host clock, except for the explicit wall-clock profiler):
+
+* :class:`~repro.telemetry.registry.MetricsRegistry` — counters, gauges,
+  fixed-bucket histograms;
+* :class:`~repro.telemetry.tracer.Tracer` — nested spans with trace-id
+  propagation across node boundaries via packet metadata;
+* exporters — JSON, CSV, and Chrome trace-event format
+  (:mod:`repro.telemetry.exporters`).
+
+Components receive an injectable :class:`Telemetry` handle; the default
+is the no-op :data:`NULL_TELEMETRY` singleton, which keeps hot paths
+unchanged and guarantees (tested) that instrumentation adds zero packets
+and zero events to a seeded scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.telemetry.clock import SimClock
+from repro.telemetry.exporters import (
+    chrome_trace_events,
+    telemetry_json,
+    write_chrome_trace,
+    write_json,
+    write_metrics_csv,
+)
+from repro.telemetry.profiler import WallClockProfiler
+from repro.telemetry.registry import (
+    DEFAULT_BUCKET_EDGES,
+    Histogram,
+    MetricsRegistry,
+    format_metric,
+    label_key,
+)
+from repro.telemetry.tracer import Span, TraceContext, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKET_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SimClock",
+    "Span",
+    "Telemetry",
+    "TraceContext",
+    "Tracer",
+    "WallClockProfiler",
+    "chrome_trace_events",
+    "format_metric",
+    "label_key",
+    "telemetry_json",
+    "write_chrome_trace",
+    "write_json",
+    "write_metrics_csv",
+]
+
+
+class _NullSpan:
+    """A reusable, stateless no-op context manager (also a null profiler)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The do-nothing handle components hold by default.
+
+    Every method is a no-op returning a shared null object, so the
+    instrumented hot paths cost one attribute load and one call — and
+    consume no randomness, no packets, and no simulated time.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def advance_us(self, delta_us: float) -> None:
+        pass
+
+    def advance_ms(self, delta_ms: float) -> None:
+        pass
+
+    def span(
+        self, name: str, trace: TraceContext | None = None, **attrs: object
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def time(self, name: str, **labels: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_context(self) -> TraceContext | None:
+        return None
+
+
+#: The shared default handle: instrumented code holds this unless a real
+#: :class:`Telemetry` is injected.
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """A live handle: one clock, one registry, one tracer, one profiler."""
+
+    enabled = True
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock)
+        self.profiler = WallClockProfiler(self.registry)
+
+    # -- metrics ------------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        self.registry.inc(name, value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self.registry.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.registry.observe(name, value, **labels)
+
+    # -- simulated time -----------------------------------------------------------
+
+    def advance_us(self, delta_us: float) -> None:
+        self.clock.advance_us(delta_us)
+
+    def advance_ms(self, delta_ms: float) -> None:
+        self.clock.advance_ms(delta_ms)
+
+    # -- tracing and profiling ----------------------------------------------------
+
+    def span(self, name: str, trace: TraceContext | None = None,
+             **attrs: object):
+        return self.tracer.span(name, trace=trace, **attrs)
+
+    def time(self, name: str, **labels: object):
+        return self.profiler.time(name, **labels)
+
+    def current_context(self) -> TraceContext | None:
+        return self.tracer.current_context()
+
+    # -- export conveniences ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return telemetry_json(self.registry, self.tracer)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return self.tracer.spans_named(name)
+
+
+#: What instrumented dataclass fields accept.
+TelemetryLike = Telemetry | NullTelemetry
+
+
+def iter_telemetry_metrics(telemetry: Telemetry) -> Iterator[str]:
+    """All metric cell names currently present (debug convenience)."""
+    for name, labels, _ in telemetry.registry.counters():
+        yield format_metric(name, labels)
+    for name, labels, _ in telemetry.registry.gauges():
+        yield format_metric(name, labels)
+    for name, labels, _ in telemetry.registry.histograms():
+        yield format_metric(name, labels)

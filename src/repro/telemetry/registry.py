@@ -1,0 +1,190 @@
+"""Label-aware metrics registry: counters, gauges, fixed-bucket histograms.
+
+All values are keyed by ``(metric name, sorted label tuple)`` so that two
+call sites reporting ``pe.busy_us{pe=DTW}`` land in the same cell no
+matter the keyword ordering.  The registry is pure bookkeeping — nothing
+here touches wall clocks or random state, so attaching a registry to a
+seeded scenario cannot perturb it (the PR-1 determinism guarantee).
+
+Metric naming scheme (see DESIGN.md "Telemetry & tracing"):
+
+* dotted, ``subsystem.quantity[_unit]`` — ``network.packets_sent``,
+  ``arq.retries``, ``storage.nvm_reads``, ``scheduler.ilp_solve_ms``;
+* labels for dimensions, not new names — ``pe.busy_us{pe=DTW}``;
+* ``*_ms`` / ``*_us`` suffixes mark time quantities; bare names count
+  events.  Simulated-time metrics come from the scenario's
+  :class:`~repro.telemetry.clock.SimClock`; the only wall-clock metrics
+  are the ``scheduler.ilp_solve_ms`` style profiler observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+#: Label set canonicalised to a hashable, deterministically-ordered key.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram bucket edges: a geometric ladder wide enough for both
+#: microsecond spans and millisecond solve times.
+DEFAULT_BUCKET_EDGES = (
+    0.01, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+def label_key(labels: dict[str, object]) -> LabelKey:
+    """Canonicalise a label dict: sorted, stringified."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_metric(name: str, labels: LabelKey) -> str:
+    """Render ``name{k=v,...}`` (no braces when unlabelled)."""
+    if not labels:
+        return name
+    body = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{body}}}"
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram.
+
+    ``counts[i]`` holds observations ``v`` with
+    ``edges[i-1] < v <= edges[i]`` (``v <= edges[0]`` for the first
+    bucket); ``counts[-1]`` is the overflow bucket for ``v > edges[-1]``.
+    Sum/count/min/max ride along so means survive export.
+    """
+
+    edges: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ConfigurationError("histogram needs at least one edge")
+        if list(self.edges) != sorted(self.edges):
+            raise ConfigurationError("histogram edges must be ascending")
+        if len(set(self.edges)) != len(self.edges):
+            raise ConfigurationError("histogram edges must be distinct")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def bucket_index(self, value: float) -> int:
+        """First bucket whose upper edge admits ``value`` (last = overflow)."""
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                return i
+        return len(self.edges)
+
+    def observe(self, value: float) -> None:
+        self.counts[self.bucket_index(value)] += 1
+        self.total += value
+        self.n += 1
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.n,
+            "min": self.min_value if self.n else None,
+            "max": self.max_value if self.n else None,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one scenario run."""
+
+    _counters: dict[tuple[str, LabelKey], float] = field(default_factory=dict)
+    _gauges: dict[tuple[str, LabelKey], float] = field(default_factory=dict)
+    _histograms: dict[tuple[str, LabelKey], Histogram] = field(
+        default_factory=dict
+    )
+    _declared_edges: dict[str, tuple[float, ...]] = field(default_factory=dict)
+
+    # -- writes -------------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Add ``value`` to a monotonic counter (negative deltas rejected)."""
+        if value < 0:
+            raise ConfigurationError(f"counter {name} cannot decrease")
+        key = (name, label_key(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self._gauges[(name, label_key(labels))] = float(value)
+
+    def declare_histogram(self, name: str, edges: tuple[float, ...]) -> None:
+        """Pin the bucket edges all series of ``name`` will use."""
+        Histogram(tuple(edges))  # validate eagerly
+        self._declared_edges[name] = tuple(edges)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        key = (name, label_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            edges = self._declared_edges.get(name, DEFAULT_BUCKET_EDGES)
+            hist = self._histograms[key] = Histogram(edges)
+        hist.observe(value)
+
+    # -- reads --------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> float:
+        return self._counters.get((name, label_key(labels)), 0.0)
+
+    def gauge(self, name: str, **labels: object) -> float:
+        return self._gauges.get((name, label_key(labels)), 0.0)
+
+    def histogram(self, name: str, **labels: object) -> Histogram | None:
+        return self._histograms.get((name, label_key(labels)))
+
+    def counters(self) -> Iterator[tuple[str, LabelKey, float]]:
+        for (name, labels), value in sorted(self._counters.items()):
+            yield name, labels, value
+
+    def gauges(self) -> Iterator[tuple[str, LabelKey, float]]:
+        for (name, labels), value in sorted(self._gauges.items()):
+            yield name, labels, value
+
+    def histograms(self) -> Iterator[tuple[str, LabelKey, Histogram]]:
+        for (name, labels), hist in sorted(self._histograms.items()):
+            yield name, labels, hist
+
+    def series(self, name: str) -> dict[LabelKey, float]:
+        """All labelled cells of one counter/gauge name, deterministic order."""
+        out: dict[LabelKey, float] = {}
+        for store in (self._counters, self._gauges):
+            for (metric, labels), value in sorted(store.items()):
+                if metric == name:
+                    out[labels] = value
+        return out
+
+    def snapshot(self) -> dict:
+        """A JSON-able copy of everything, deterministically ordered."""
+        return {
+            "counters": {
+                format_metric(name, labels): value
+                for name, labels, value in self.counters()
+            },
+            "gauges": {
+                format_metric(name, labels): value
+                for name, labels, value in self.gauges()
+            },
+            "histograms": {
+                format_metric(name, labels): hist.as_dict()
+                for name, labels, hist in self.histograms()
+            },
+        }

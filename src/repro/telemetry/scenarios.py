@@ -1,0 +1,197 @@
+"""Canned, seeded scenarios for ``python -m repro trace``.
+
+Each scenario drives a small but complete slice of the system with a
+live :class:`~repro.telemetry.Telemetry` handle attached and returns
+that handle; the CLI renders the registry as tables and can export the
+span tree as a Chrome trace.  Scenarios are deterministic: the same
+``seed`` produces byte-identical metrics, spans, and timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.telemetry import Telemetry
+
+#: BER used by the traced scenarios: high enough that the ARQ visibly
+#: retries within a short run, low enough that recovery succeeds.
+TRACE_BER = 2e-4
+
+
+def _traced_system(
+    telemetry: Telemetry, n_nodes: int, electrodes: int, seed: int
+):
+    from repro.core.system import ScaloSystem
+    from repro.network.arq import ARQConfig
+    from repro.network.radio import LOW_POWER
+    from repro.network.tdma import TDMAConfig
+
+    radio = replace(LOW_POWER, bit_error_rate=TRACE_BER)
+    return ScaloSystem(
+        n_nodes=n_nodes,
+        electrodes_per_node=electrodes,
+        tdma=TDMAConfig(radio=radio),
+        seed=seed,
+        arq=ARQConfig(),
+        telemetry=telemetry,
+    )
+
+
+def seizure_scenario(
+    telemetry: Telemetry,
+    n_nodes: int = 4,
+    electrodes: int = 4,
+    n_windows: int = 4,
+    seed: int = 0,
+) -> Telemetry:
+    """Seizure-propagation session: ingest, hash exchange, traced query.
+
+    Every node ingests ``n_windows`` windows (storage + hashing metered),
+    broadcasts its hash batches over the reliable link (ARQ retries show
+    up as spans), checks its neighbours' hashes against its own recent
+    store, and finally the fleet answers one distributed Q1 query —
+    the full broadcast → lookup → merge round-trip in a single trace.
+    """
+    from repro.apps.queries import QuerySpec
+    from repro.units import WINDOW_SAMPLES
+
+    system = _traced_system(telemetry, n_nodes, electrodes, seed)
+    rng = np.random.default_rng(seed)
+    signatures_by_round = []
+    for w in range(n_windows):
+        batch = system.ingest(
+            rng.normal(size=(n_nodes, electrodes, WINDOW_SAMPLES)).astype(
+                np.float32
+            )
+        )
+        signatures_by_round.append(batch)
+
+    # hash exchange: every node broadcasts its latest batch, every
+    # receiver runs a collision check against its recent local store
+    for w, batch in enumerate(signatures_by_round):
+        for src in range(n_nodes):
+            system.broadcast_hashes(src, batch[src], seq=w * n_nodes + src)
+        for node in range(n_nodes):
+            for packet in system.drain_inbox(node):
+                with telemetry.span(
+                    "collision-check", trace=packet.trace, node=node
+                ):
+                    matches = system.nodes[node].check_remote_hashes(
+                        system.unpack_hashes(packet)
+                    )
+                    telemetry.inc("system.hash_collisions", len(matches))
+
+    # mark a couple of windows as detector hits so Q1 returns rows
+    flags = {node: {0, n_windows - 1} for node in range(n_nodes)}
+    result = system.query_distributed(
+        QuerySpec(kind="q1", time_range_ms=100.0),
+        (0, n_windows),
+        seizure_flags=flags,
+    )
+    telemetry.set_gauge("scenario.rows_returned", len(result.rows))
+    telemetry.set_gauge("scenario.coverage", result.coverage)
+    return telemetry
+
+
+def queries_scenario(
+    telemetry: Telemetry,
+    n_nodes: int = 3,
+    electrodes: int = 4,
+    n_windows: int = 5,
+    seed: int = 0,
+) -> Telemetry:
+    """Interactive-query session: one distributed query per kind."""
+    from repro.apps.queries import QuerySpec
+    from repro.units import WINDOW_SAMPLES
+
+    system = _traced_system(telemetry, n_nodes, electrodes, seed)
+    rng = np.random.default_rng(seed)
+    windows = None
+    for _ in range(n_windows):
+        windows = rng.normal(
+            size=(n_nodes, electrodes, WINDOW_SAMPLES)
+        ).astype(np.float32)
+        system.ingest(windows)
+    template = windows[0][0].astype(float)
+    flags = {node: {1, 2} for node in range(n_nodes)}
+    for spec, tpl in (
+        (QuerySpec(kind="q1", time_range_ms=100.0), None),
+        (QuerySpec(kind="q2", time_range_ms=100.0), template),
+        (QuerySpec(kind="q3", time_range_ms=100.0), None),
+    ):
+        system.query_distributed(
+            spec, (0, n_windows), template=tpl, seizure_flags=flags
+        )
+    return telemetry
+
+
+def fig9a_scenario(
+    telemetry: Telemetry,
+    node_counts: tuple[int, ...] = (1, 2, 4, 8, 11, 16, 32, 64),
+    seed: int = 0,
+) -> Telemetry:
+    """The Fig. 9a workload under telemetry: 24 ILP solves, profiled.
+
+    Simulated time stands still here (the scheduler is analytical); the
+    interesting numbers are the wall-clock ``scheduler.ilp_solve_ms``
+    histogram and the per-solve gauges.  ``seed`` is accepted for
+    interface uniformity — the workload is deterministic by construction.
+    """
+    del seed
+    from repro.eval.application import (
+        FIG9A_WEIGHTS,
+        seizure_propagation_schedule,
+    )
+
+    for weights in FIG9A_WEIGHTS:
+        label = ":".join(str(int(w)) for w in weights)
+        for n in node_counts:
+            with telemetry.span("schedule", weights=label, nodes=n):
+                schedule = seizure_propagation_schedule(
+                    n, weights, telemetry=telemetry
+                )
+            telemetry.set_gauge(
+                "scenario.weighted_mbps", schedule.weighted_mbps(),
+                weights=label, nodes=n,
+            )
+    return telemetry
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded scenario."""
+
+    name: str
+    description: str
+    run: Callable[[Telemetry, int], Telemetry]
+
+
+SCENARIOS: dict[str, Scenario] = {
+    "seizure": Scenario(
+        "seizure",
+        "ingest + reliable hash exchange + one traced distributed query",
+        lambda tel, seed: seizure_scenario(tel, seed=seed),
+    ),
+    "queries": Scenario(
+        "queries",
+        "distributed Q1/Q2/Q3 round-trips over a noisy link",
+        lambda tel, seed: queries_scenario(tel, seed=seed),
+    ),
+    "fig9a": Scenario(
+        "fig9a",
+        "the Fig. 9a scheduler sweep with wall-clock solve profiling",
+        lambda tel, seed: fig9a_scenario(tel, seed=seed),
+    ),
+}
+
+
+def run_scenario(name: str, seed: int = 0) -> Telemetry:
+    """Run one named scenario on a fresh telemetry handle."""
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})")
+    telemetry = Telemetry()
+    return SCENARIOS[name].run(telemetry, seed)

@@ -12,11 +12,13 @@ from repro.network.network import DeliveryOutcome, DeliveryStats, WirelessNetwor
 from repro.network.packet import BROADCAST, Packet, PayloadKind
 from repro.network.radio import LOW_POWER
 from repro.network.tdma import TDMAConfig
+from repro.telemetry import Telemetry
 
 
-def _network(ber=0.0, seed=0):
+def _network(ber=0.0, seed=0, telemetry=None):
     radio = replace(LOW_POWER, bit_error_rate=ber)
-    return WirelessNetwork(tdma=TDMAConfig(radio=radio), seed=seed)
+    kwargs = {} if telemetry is None else {"telemetry": telemetry}
+    return WirelessNetwork(tdma=TDMAConfig(radio=radio), seed=seed, **kwargs)
 
 
 def _packet(src=0, dst=1, payload=bytes(48), seq=0, kind=PayloadKind.HASHES):
@@ -189,18 +191,28 @@ class TestARQRecovery:
         assert len(delivered) == stats.delivered_first_try + stats.recovered
 
     def test_retransmissions_and_acks_spend_airtime(self):
-        network = _network(ber=1e-3, seed=2)
+        tel = Telemetry()
+        network = _network(ber=1e-3, seed=2, telemetry=tel)
         link = ReliableLink(network)
         link.attach(0, lambda p: None)
         link.attach(1, lambda p: None)
         for i in range(60):
             link.send(_packet(seq=i))
         assert link.stats.retransmissions > 0
-        assert network.stats.retransmissions == link.stats.retransmissions
+        # retransmission counts live in the arq.* registry namespace now,
+        # not duplicated into DeliveryStats
+        assert tel.registry.counter("arq.retries") == link.stats.retransmissions
         # sent counts every burst, so it exceeds the application packet count
         assert network.stats.sent == 60 + link.stats.retransmissions
         assert link.stats.ack_airtime_ms > 0
         assert network.stats.airtime_ms > link.stats.ack_airtime_ms
+        # the registry mirrors both airtime flavours
+        assert tel.registry.counter("arq.ack_airtime_ms") == pytest.approx(
+            link.stats.ack_airtime_ms
+        )
+        assert tel.registry.counter("network.airtime_ms") + tel.registry.counter(
+            "arq.ack_airtime_ms"
+        ) == pytest.approx(network.stats.airtime_ms)
 
     def test_retry_exhaustion(self):
         network = _network()

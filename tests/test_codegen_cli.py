@@ -74,6 +74,8 @@ class TestCLI:
         assert cli_main(["fig13", "--nodes", "6"]) == 0
         assert "Low Power" in capsys.readouterr().out
 
-    def test_unknown_target_errors(self):
-        with pytest.raises(SystemExit):
-            cli_main(["fig99"])
+    def test_unknown_target_lists_commands_and_exits_2(self, capsys):
+        assert cli_main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown target 'fig99'" in err
+        assert "fig9a" in err and "list" in err
