@@ -7,6 +7,7 @@ Usage::
     python -m repro fig8a               # architecture comparison
     python -m repro fig15a --reps 500   # Monte-Carlo sweeps
     python -m repro trace seizure       # run a scenario under telemetry
+    python -m repro recover             # crash + reboot + resync smoke run
     python -m repro all                 # everything (slow)
 
 ``trace`` runs a canned scenario with a live telemetry handle, prints
@@ -154,7 +155,11 @@ def _sec63(args) -> None:
 
 
 def _resilience(args) -> None:
-    from repro.eval.resilience import crash_query_degradation, resilience_sweep
+    from repro.eval.resilience import (
+        crash_query_degradation,
+        crash_recovery_coverage,
+        resilience_sweep,
+    )
 
     print("ARQ recovery vs BER:")
     for ber, r in resilience_sweep(n_packets=args.packets).items():
@@ -166,6 +171,49 @@ def _resilience(args) -> None:
     print(f"crash query: degraded={result.degraded} "
           f"coverage={result.coverage:.2f} rows={len(result.rows)} "
           f"failed={result.failed_nodes}")
+    rec = crash_recovery_coverage(n_nodes=args.nodes)
+    print(f"crash recovery: coverage {rec.coverage_before:.2f} -> "
+          f"{rec.coverage_after:.2f} replayed={rec.records_replayed} "
+          f"pulled={rec.batches_pulled} pushed={rec.batches_pushed} "
+          f"scrubbed={rec.scrub_bits_corrected}")
+
+
+def _recover(args) -> None:
+    from repro.eval.reporting import span_summary, telemetry_summary
+    from repro.telemetry import write_chrome_trace, write_metrics_csv
+    from repro.telemetry.scenarios import run_scenario
+
+    telemetry = run_scenario("recover", seed=args.seed)
+    reg = telemetry.registry
+    print(f"-- crash + reboot + resync (seed {args.seed}), "
+          f"simulated time {telemetry.clock.now_ms:.2f} ms\n")
+    print("recovery counters:")
+    for key in (
+        "recovery.replays",
+        "recovery.records_replayed",
+        "recovery.checkpoints",
+        "recovery.scrub_pages",
+        "recovery.scrub_corrected",
+        "recovery.scrub_uncorrectable",
+        "recovery.resync_requests",
+        "recovery.resync_batches_pulled",
+        "recovery.resync_batches_pushed",
+        "recovery.failovers",
+        "recovery.nodes_recovered",
+    ):
+        print(f"  {key:34s} {reg.counter(key):8.0f}")
+    print(f"  {'query coverage after recovery':34s} "
+          f"{reg.gauge('scenario.coverage'):8.2f}")
+    print()
+    print(telemetry_summary(reg))
+    print()
+    print(span_summary(telemetry.tracer))
+    if args.export:
+        path = write_chrome_trace(telemetry.tracer, args.export)
+        print(f"\nChrome trace written to {path}")
+    if args.csv:
+        path = write_metrics_csv(reg, args.csv)
+        print(f"metrics CSV written to {path}")
 
 
 def _export(args) -> None:
@@ -225,6 +273,7 @@ _COMMANDS: dict[str, Callable] = {
     "sec63": _sec63,
     "export": _export,
     "trace": _trace,
+    "recover": _recover,
 }
 
 
@@ -258,7 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.target == "all":
         for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export",
-                                             "trace"}):
+                                             "trace", "recover"}):
             print(f"\n===== {name} =====")
             _COMMANDS[name](args)
         return 0

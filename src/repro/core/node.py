@@ -99,6 +99,48 @@ class ScaloNode:
         self.hash_store.evict_before(time_ms - 4 * self.hash_horizon_ms)
         return signatures
 
+    # -- crash / recovery -------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: everything in SRAM vanishes.
+
+        The window counter, the recent-hash store, and the storage
+        controller's metadata registers are volatile; the NVM pages and
+        the journal survive for :meth:`recover` to replay.
+        """
+        self._window_index = 0
+        self.hash_store = RecentHashStore(self.hash_horizon_ms)
+        self.storage.lose_sram()
+
+    def recover(self):
+        """Reboot: replay checkpoint + journal, re-warm the SRAM caches.
+
+        Restores the window counter from the highest journaled hash
+        batch and re-reads the recent batches (within the collision
+        horizon) back into the :class:`RecentHashStore` — honest page
+        reads.  Batches rotted beyond ECC are skipped, not fatal: the
+        node comes back degraded rather than not at all.
+
+        Returns:
+            :class:`~repro.storage.controller.StorageRecovery`.
+        """
+        from repro.errors import StorageError
+
+        report = self.storage.recover()
+        stored = self.storage.stored_hash_windows()
+        self._window_index = max(stored) + 1 if stored else 0
+        horizon = (self.now_ms - 4 * self.hash_horizon_ms, self.now_ms)
+        for window in stored:
+            meta = self.storage._hash_meta.get(window)
+            if meta is None or not horizon[0] <= meta[0] <= horizon[1]:
+                continue
+            try:
+                signatures = self.storage.read_hash_batch(window)
+            except StorageError:
+                continue  # rotted beyond ECC — warm cache stays cold here
+            self.hash_store.add_batch(meta[0], signatures)
+        return report
+
     def check_remote_hashes(
         self, signatures: list[tuple[int, ...]]
     ) -> list[tuple[int, HashRecord]]:

@@ -25,6 +25,16 @@ from repro.units import ELECTRODES_PER_NODE, NODE_POWER_CAP_MW
 
 
 @dataclass
+class RecoveryReport:
+    """Everything one :meth:`ScaloSystem.recover_node` call did."""
+
+    node: int
+    replay: object  # StorageRecovery
+    scrub: object  # ScrubReport
+    resync: object | None  # ResyncReport
+
+
+@dataclass
 class ScaloSystem:
     """A fleet of implants sharing one LSH configuration and one medium."""
 
@@ -69,6 +79,10 @@ class ScaloSystem:
         self._inboxes: dict[int, list[Packet]] = {i: [] for i in range(self.n_nodes)}
         self._dead: set[int] = set()
         self._query_seq = 0
+        self._resync_seq = 0
+        #: optional :class:`~repro.recovery.failover.FailoverManager`;
+        #: when attached, distributed queries coordinate at its electee
+        self.failover = None
         for node in self.nodes:
             self._register(node.node_id)
         self.clocks = [
@@ -108,7 +122,12 @@ class ScaloSystem:
         return sorted(self._dead)
 
     def fail_node(self, node_id: int) -> None:
-        """Take a node down: it leaves the network and stops ingesting.
+        """Take a node down: it leaves the network and loses its SRAM.
+
+        A crash is destructive — the node's metadata registers, write
+        buffer, and recent-hash cache vanish (see
+        :meth:`~repro.core.node.ScaloNode.crash`); only the NVM pages
+        and the write-ahead journal survive for the reboot to replay.
 
         Idempotent — failing a node that is already down is a no-op, so a
         fault plan and a health monitor can both report the same outage.
@@ -118,19 +137,82 @@ class ScaloSystem:
             return
         self._dead.add(node_id)
         self.network.unregister(node_id)
+        if self.link is not None:
+            # the receiver's duplicate-suppression memory was SRAM too
+            self.link.forget(node_id)
+        self.nodes[node_id].crash()
 
-    def restore_node(self, node_id: int) -> None:
-        """Bring a failed node back (reboot): rejoin the network.
+    def restore_node(self, node_id: int):
+        """Bring a failed node back (reboot): replay, then rejoin.
 
-        The node's NVM contents survive the reboot (NAND is non-volatile);
-        only its inbox is cleared, as SRAM does not.
+        The node's NVM contents survive the reboot (NAND is
+        non-volatile), so the storage metadata is re-materialised from
+        checkpoint + journal before the node rejoins the network.  For
+        reconciliation of state *broadcast* while the node was down, use
+        :meth:`recover_node`.
+
+        Returns:
+            :class:`~repro.storage.controller.StorageRecovery` (or
+            ``None`` when the node was not down).
         """
         self._check_node(node_id)
         if node_id not in self._dead:
-            return
+            return None
+        tel = self.telemetry
+        with tel.span("replay", node=node_id):
+            report = self.nodes[node_id].recover()
+        if tel.enabled:
+            tel.inc("recovery.replays")
+            tel.inc("recovery.records_replayed", report.records_replayed)
         self._dead.discard(node_id)
         self._inboxes[node_id] = []
         self._register(node_id)
+        return report
+
+    def recover_node(
+        self,
+        node_id: int,
+        resync: bool = True,
+        resync_horizon: int = 8,
+        max_batches: int = 64,
+    ):
+        """Full reboot path: replay + scrub + bounded anti-entropy.
+
+        After :meth:`restore_node` re-materialises the durable state,
+        the node scrubs its pages (downtime is retention time) and runs
+        one :func:`~repro.recovery.resync.resync_node` round pulling the
+        last ``resync_horizon`` windows from each alive peer and pushing
+        its own unexchanged batches.  The whole path is one ``recovery``
+        span with ``replay``/``resync`` children.
+
+        Returns:
+            :class:`RecoveryReport` (or ``None`` when not down).
+        """
+        from repro.recovery.resync import resync_node
+        from repro.recovery.scrub import Scrubber
+
+        self._check_node(node_id)
+        if node_id not in self._dead:
+            return None
+        tel = self.telemetry
+        with tel.span("recovery", node=node_id):
+            replay = self.restore_node(node_id)
+            scrub = Scrubber(
+                self.nodes[node_id].storage.device, telemetry=tel
+            ).full_pass()
+            resync_report = None
+            if resync:
+                # the node cannot know how far the fleet got while it was
+                # down, so the pull range extends one horizon past its own
+                # replayed high-water mark
+                own_hi = self.nodes[node_id]._window_index
+                lo = max(0, own_hi - resync_horizon)
+                resync_report = resync_node(
+                    self, node_id, lo, own_hi + resync_horizon,
+                    max_batches=max_batches,
+                )
+            tel.inc("recovery.nodes_recovered")
+        return RecoveryReport(node_id, replay, scrub, resync_report)
 
     def reschedule(self, flows, power_budget_mw: float | None = None):
         """Re-run the ILP over the surviving nodes only.
@@ -175,7 +257,26 @@ class ScaloSystem:
     def default_tdma_schedule(self, slots_per_node: int = 1) -> TDMASchedule:
         return TDMASchedule.round_robin(self.tdma, self.n_nodes, slots_per_node)
 
+    def attach_failover(self, health=None, flows=None):
+        """Enable coordinator failover for the centralised stages.
+
+        Returns the attached
+        :class:`~repro.recovery.failover.FailoverManager`; distributed
+        queries now coordinate at its electee (lowest-id alive node).
+        """
+        from repro.recovery.failover import FailoverManager
+
+        self.failover = FailoverManager(
+            self, health=health, flows=list(flows or [])
+        )
+        return self.failover
+
     # -- messaging ---------------------------------------------------------------------
+
+    def _next_resync_seq(self) -> int:
+        """RESYNC requests get their own sequence space (like queries)."""
+        self._resync_seq = (self._resync_seq + 1) & 0xFFFF
+        return self._resync_seq
 
     def broadcast_hashes(self, src: int, signatures: list[tuple[int, ...]],
                          seq: int = 0) -> None:
@@ -305,7 +406,12 @@ class ScaloSystem:
         if not alive:
             raise NodeFailure(-1, "no surviving nodes to query")
         if coordinator is None:
-            coordinator = alive[0]
+            if self.failover is not None:
+                # pick up any pending handover before coordinating
+                self.failover.step()
+                coordinator = self.failover.coordinator
+            else:
+                coordinator = alive[0]
         if not self.is_alive(coordinator):
             raise NodeFailure(coordinator, "coordinator is down")
 
@@ -320,6 +426,8 @@ class ScaloSystem:
                 # queries get their own sequence space so back-to-back
                 # queries are never mistaken for ARQ duplicates
                 self._query_seq = (self._query_seq + 1) & 0xFFFF
+                if self.failover is not None:
+                    self.failover.checkpoint()
                 packet = Packet.build(
                     coordinator, BROADCAST, PayloadKind.QUERY, payload,
                     seq=self._query_seq, trace=tel.current_context(),

@@ -59,6 +59,26 @@ class StorageError(ScaloError):
     """Invalid NVM operation (bad address, write to unerased page, ...)."""
 
 
+class UncorrectableError(StorageError):
+    """A page failed ECC decode beyond the SECDED correction capability.
+
+    Raised instead of silently returning rotted bytes; callers that can
+    degrade (the resilient query path) treat the node's storage as
+    unavailable, exactly like a dead node.
+    """
+
+    def __init__(self, page_index: int, detail: str = ""):
+        self.page_index = page_index
+        message = f"page {page_index} has uncorrectable bit errors"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class RecoveryError(ScaloError):
+    """Crash recovery could not restore a consistent node state."""
+
+
 class NetworkError(ScaloError):
     """Invalid network operation (oversized packet, no TDMA slot, ...)."""
 

@@ -9,7 +9,10 @@ the recovery cost in airtime?*  :func:`arq_recovery` runs one BER point;
 :func:`crash_query_degradation` exercises the other half of the fault
 model: an N-node :class:`~repro.core.system.ScaloSystem` loses an
 implant mid-session and interactive queries keep answering over the
-survivors, tagged degraded.
+survivors, tagged degraded.  :func:`crash_recovery_coverage` continues
+that story through the recovery layer: the crashed node reboots via
+journal replay + scrub + anti-entropy resync, rejoins the ingest
+schedule, and the same Q3 query comes back at full coverage.
 """
 
 from __future__ import annotations
@@ -162,3 +165,91 @@ def crash_query_degradation(
     system.fail_node(crash_node)
     spec = QuerySpec(kind="q3", time_range_ms=100.0)
     return system.query(spec, (0, n_windows))
+
+
+@dataclass
+class RecoveryCoverageResult:
+    """Coverage before and after one crash → reboot → resync cycle."""
+
+    before: DistributedQueryResult
+    after: DistributedQueryResult
+    records_replayed: int
+    batches_pulled: int
+    batches_pushed: int
+    scrub_bits_corrected: int
+
+    @property
+    def coverage_before(self) -> float:
+        return self.before.coverage
+
+    @property
+    def coverage_after(self) -> float:
+        return self.after.coverage
+
+
+def crash_recovery_coverage(
+    n_nodes: int = 4,
+    electrodes_per_node: int = 4,
+    n_windows: int = 6,
+    crash_node: int = 1,
+    crash_after: int = 3,
+    seed: int = 0,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
+) -> RecoveryCoverageResult:
+    """Lose an implant, reboot it through recovery, regain full coverage.
+
+    The fleet ingests ``crash_after`` windows (hashes exchanged over an
+    ARQ link), then ``crash_node`` goes down and a Q3 query answers
+    degraded at ``(n_nodes - 1) / n_nodes`` coverage.  While the node is
+    down one NVM bit rots (downtime is retention time).  The reboot runs
+    the full :meth:`~repro.core.system.ScaloSystem.recover_node` path —
+    journal replay, a scrub pass that repairs the rot, and an
+    anti-entropy round that pulls the hash batches broadcast while it
+    was dark — after which ingest resumes fleet-wide and the same query
+    over *all* windows answers at coverage 1.0.
+    """
+    from repro.errors import ConfigurationError
+    from repro.units import WINDOW_SAMPLES
+
+    if not 0 < crash_after <= n_windows:
+        raise ConfigurationError("crash_after must be in (0, n_windows]")
+    system = ScaloSystem(
+        n_nodes=n_nodes, electrodes_per_node=electrodes_per_node, seed=seed,
+        arq=ARQConfig(), telemetry=telemetry,
+    )
+    rng = np.random.default_rng(seed)
+
+    def ingest_round(window: int) -> None:
+        batch = system.ingest(
+            rng.normal(
+                size=(n_nodes, electrodes_per_node, WINDOW_SAMPLES)
+            ).astype(np.float32)
+        )
+        for src in system.alive_node_ids:
+            if batch[src]:
+                system.broadcast_hashes(src, batch[src], seq=window)
+        for node in system.alive_node_ids:
+            system.drain_inbox(node)
+
+    for window in range(crash_after):
+        ingest_round(window)
+    system.fail_node(crash_node)
+    # downtime is retention time: one bit rots before the reboot
+    device = system.nodes[crash_node].storage.device
+    device.inject_bit_rot(device.programmed_pages[0], np.array([0]))
+
+    spec = QuerySpec(kind="q3", time_range_ms=100.0)
+    before = system.query(spec, (0, crash_after))
+
+    report = system.recover_node(crash_node)
+    for window in range(crash_after, n_windows):
+        ingest_round(window)
+    after = system.query(spec, (0, n_windows))
+    return RecoveryCoverageResult(
+        before=before,
+        after=after,
+        records_replayed=report.replay.records_replayed,
+        batches_pulled=report.resync.batches_pulled,
+        batches_pushed=report.resync.batches_pushed,
+        scrub_bits_corrected=report.scrub.bits_corrected,
+    )

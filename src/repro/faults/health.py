@@ -41,8 +41,16 @@ class HealthMonitor:
     # -- updates ------------------------------------------------------------------
 
     def heartbeat(self, node: int, round_index: int) -> None:
-        """Record one heartbeat; revives a node previously marked dead."""
+        """Record one heartbeat; revives a node previously marked dead.
+
+        Heartbeats older than the freshest one already recorded are
+        ignored: a delayed heartbeat from before a crash must neither
+        rewind the liveness clock nor wrongly revive a dead node — only
+        *fresh* evidence (a reboot, an outage ending) flips dead→alive.
+        """
         self._check(node)
+        if round_index < self._last_seen[node]:
+            return
         self._last_seen[node] = round_index
         if node in self._dead:
             self._dead.discard(node)

@@ -31,6 +31,16 @@ class FaultInjector:
     health: HealthMonitor | None = None
     round_index: int = 0
     log: list[str] = field(default_factory=list)
+    #: reboots run the full :meth:`~repro.core.system.ScaloSystem.recover_node`
+    #: path (replay + scrub + anti-entropy) instead of a bare rejoin
+    resync_on_reboot: bool = False
+    resync_horizon: int = 8
+    #: optional :class:`~repro.recovery.scrub.FleetScrubber`, stepped
+    #: once per round after the round's events land
+    scrubber: object | None = None
+    #: optional :class:`~repro.recovery.failover.FailoverManager`,
+    #: stepped after the health tick so handovers follow detection
+    failover: object | None = None
 
     def __post_init__(self) -> None:
         if self.health is None:
@@ -46,6 +56,13 @@ class FaultInjector:
         for event in self.plan.events_at(r):
             if self._apply(event):
                 applied.append(event)
+        if self.scrubber is not None:
+            report = self.scrubber.step()
+            if report.bits_corrected or report.uncorrectable_pages:
+                self.log.append(
+                    f"round={r:08d} scrub corrected {report.bits_corrected} "
+                    f"bits, {report.uncorrectable_pages} pages beyond ECC"
+                )
         for node in range(self.system.n_nodes):
             if self.system.is_alive(node) and not self.system.network.in_outage(
                 node
@@ -53,6 +70,14 @@ class FaultInjector:
                 self.health.heartbeat(node, r)
         for node in self.health.tick(r):
             self.log.append(f"round={r:08d} monitor declares node {node:03d} dead")
+        if self.failover is not None:
+            handover = self.failover.step()
+            if handover is not None:
+                self.log.append(
+                    f"round={r:08d} coordinator failover "
+                    f"{handover.old_coordinator:03d} -> "
+                    f"{handover.new_coordinator:03d}"
+                )
         self.round_index += 1
         return applied
 
@@ -85,8 +110,20 @@ class FaultInjector:
             if alive:
                 self._note(event, "skipped: already up")
                 return False
-            self.system.restore_node(node)
-            self._note(event, "applied: node re-registered")
+            if self.resync_on_reboot:
+                report = self.system.recover_node(
+                    node, resync_horizon=self.resync_horizon
+                )
+                pulled = report.resync.batches_pulled if report.resync else 0
+                self._note(
+                    event,
+                    f"applied: node recovered "
+                    f"(replayed {report.replay.records_replayed} records, "
+                    f"pulled {pulled} batches)",
+                )
+            else:
+                self.system.restore_node(node)
+                self._note(event, "applied: node re-registered")
             return True
         if event.kind is FaultKind.RADIO_OUTAGE_START:
             if not alive:

@@ -26,6 +26,7 @@ and burst, so recovery cost shows up inside the owning query's trace.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, RetryExhausted
@@ -51,12 +52,20 @@ class ARQConfig:
     max_retries: int = 4
     backoff_slots: int = 1
     exponential_backoff: bool = True
+    #: duplicate-suppression memory per receiver set: an entry is evicted
+    #: once this many newer packets have been accepted since it was last
+    #: seen (``None`` = unbounded, the pre-bound behaviour).  Long fault
+    #: sweeps no longer grow memory without limit; the window only needs
+    #: to exceed the deepest plausible retransmission reordering.
+    dedup_window: int | None = 4096
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
         if self.backoff_slots < 0:
             raise ConfigurationError("backoff_slots must be >= 0")
+        if self.dedup_window is not None and self.dedup_window < 1:
+            raise ConfigurationError("dedup_window must be >= 1 or None")
 
     def backoff_slots_for(self, retry: int) -> int:
         """Slots waited before retry number ``retry`` (1-based)."""
@@ -79,6 +88,7 @@ class ARQStats:
     acks_sent: int = 0
     acks_lost: int = 0
     duplicates_suppressed: int = 0
+    dedup_evictions: int = 0
     ack_airtime_ms: float = 0.0
     backoff_ms: float = 0.0
 
@@ -119,8 +129,13 @@ class ReliableLink:
     def __post_init__(self) -> None:
         # (src, dst, kind, seq) already handed to the application; kind is
         # part of the key because sequence spaces are per payload stream
-        # (a HASHES seq=0 must not suppress a later QUERY seq=0)
-        self._seen: set[tuple[int, int, PayloadKind, int]] = set()
+        # (a HASHES seq=0 must not suppress a later QUERY seq=0).  Values
+        # are accept ticks: the OrderedDict is an LRU bounded by the
+        # config's dedup_window, so long sweeps hold O(window) memory.
+        self._seen: OrderedDict[tuple[int, int, PayloadKind, int], int] = (
+            OrderedDict()
+        )
+        self._accept_tick = 0
 
     @property
     def telemetry(self) -> TelemetryLike:
@@ -138,13 +153,37 @@ class ReliableLink:
                 packet.header.seq,
             )
             if key in self._seen:
+                # a live stream stays resident: refresh on every hit
+                self._seen[key] = self._accept_tick
+                self._seen.move_to_end(key)
                 self.stats.duplicates_suppressed += 1
                 self.telemetry.inc("arq.duplicates_suppressed")
                 return
-            self._seen.add(key)
+            self._accept_tick += 1
+            self._seen[key] = self._accept_tick
+            window = self.config.dedup_window
+            if window is not None:
+                while (
+                    self._seen
+                    and self._accept_tick - next(iter(self._seen.values()))
+                    >= window
+                ):
+                    self._seen.popitem(last=False)
+                    self.stats.dedup_evictions += 1
             receiver(packet)
 
         self.network.register(node_id, deduped)
+
+    def forget(self, node_id: int) -> None:
+        """Drop a receiver's dedup memory (its SRAM died with it).
+
+        Called when a node crashes: after the reboot the resync path may
+        legitimately redeliver batches the old incarnation had seen.
+        """
+        self._seen = OrderedDict(
+            (key, tick) for key, tick in self._seen.items()
+            if key[1] != node_id
+        )
 
     # -- transmit side ----------------------------------------------------------
 

@@ -35,6 +35,7 @@ DROP_ON_ERROR = {
     PayloadKind.QUERY_RESULT,
     PayloadKind.CLOCK_SYNC,
     PayloadKind.CONTROL,
+    PayloadKind.RESYNC,
 }
 
 

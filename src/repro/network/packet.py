@@ -53,6 +53,7 @@ class PayloadKind(enum.IntEnum):
     QUERY_RESULT = 5
     CLOCK_SYNC = 6
     CONTROL = 7
+    RESYNC = 8
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,91 @@
+"""SECDED Hamming ECC + CRC for NVM pages.
+
+Real SLC NAND stores per-page ECC in a spare ("out-of-band") area and
+runs a hardware SECDED engine on every transfer; NVSim's access costs
+already include it.  This module is the functional half: a Hamming
+syndrome plus an overall parity bit over the page's bits, and a CRC32
+over the page's bytes as an end-to-end integrity check.
+
+The syndrome is the XOR of the 1-based indices of all set bits — the
+classic construction in which a single flipped bit at index ``p``
+perturbs the syndrome by exactly ``p``:
+
+* syndrome delta 0, parity delta 0 → clean (CRC re-checked anyway);
+* parity delta 1, syndrome delta in range → single-bit error at
+  ``delta - 1``; corrected, then verified against the CRC (which
+  catches the odd-weight ≥3-flip patterns SECDED miscorrects);
+* parity delta 0, syndrome delta ≠ 0 → double-bit error, uncorrectable.
+
+Bit indexing is MSB-first (bit 0 is the top bit of byte 0), matching
+:func:`repro.network.channel.flip_bits` so injected rot and correction
+agree on positions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+#: ECC geometry: a 4 KB page has 32768 bit positions, so 1-based indices
+#: fit 16 bits — the spare-area cost is 16 syndrome bits + 1 parity bit
+#: + 32 CRC bits per page (49 bits, well under a real NAND's 64-224 B OOB).
+SYNDROME_BITS = 16
+
+
+@dataclass(frozen=True)
+class PageECC:
+    """The spare-area words stored alongside one page."""
+
+    syndrome: int
+    parity: int
+    crc: int
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of one page verification."""
+
+    data: bytes
+    corrected_bits: int  # 0 or 1
+    ok: bool  # False → uncorrectable damage
+    detail: str = ""
+
+
+def _syndrome_parity(data: bytes) -> tuple[int, int]:
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    positions = np.flatnonzero(bits).astype(np.int64) + 1
+    if positions.size == 0:
+        return 0, 0
+    return int(np.bitwise_xor.reduce(positions)), int(positions.size & 1)
+
+
+def compute_ecc(data: bytes) -> PageECC:
+    """Encode one page's spare-area ECC words."""
+    syndrome, parity = _syndrome_parity(data)
+    return PageECC(syndrome, parity, zlib.crc32(data))
+
+
+def decode_page(data: bytes, ecc: PageECC) -> DecodeResult:
+    """Verify one page against its spare area; correct a single flip."""
+    syndrome, parity = _syndrome_parity(data)
+    ds = ecc.syndrome ^ syndrome
+    dp = ecc.parity ^ parity
+    if ds == 0 and dp == 0:
+        if zlib.crc32(data) != ecc.crc:
+            # an even-weight flip pattern whose indices XOR to zero —
+            # invisible to the Hamming code, caught end-to-end
+            return DecodeResult(data, 0, False, "crc mismatch, syndrome clean")
+        return DecodeResult(data, 0, True)
+    if dp == 1:
+        index = ds - 1
+        if 0 <= index < 8 * len(data):
+            fixed = bytearray(data)
+            fixed[index // 8] ^= 0x80 >> (index % 8)
+            fixed = bytes(fixed)
+            if zlib.crc32(fixed) == ecc.crc:
+                return DecodeResult(fixed, 1, True)
+            return DecodeResult(data, 0, False, "miscorrection (>=3 flips)")
+        return DecodeResult(data, 0, False, "syndrome out of range")
+    return DecodeResult(data, 0, False, "double-bit error")

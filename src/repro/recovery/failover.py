@@ -1,0 +1,118 @@
+"""Deterministic coordinator failover for the centralised stages.
+
+SCALO centralises a few pipeline stages (query coordination and merge,
+the one matrix inversion) on a single node.  When that node dies, the
+fleet must agree on a successor *without* an election protocol — the
+paper's TDMA schedule already gives every implant the same view of the
+round, so the rule is static and deterministic: **the lowest-id alive
+node coordinates**, per the :class:`~repro.faults.health.HealthMonitor`
+when one is attached (the fleet's shared belief), else per the system's
+ground-truth liveness.
+
+Coordinator state (the query sequence counter) is checkpointed into a
+replicated journal after every query, so the successor re-materialises
+it instead of restarting from zero — back-to-back queries across a
+failover keep distinct sequence numbers and are never suppressed as
+ARQ duplicates.  When the manager is constructed with ``flows``, a
+failover also re-runs the ILP over the survivors.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import NodeFailure
+from repro.recovery.journal import WriteAheadJournal
+
+if TYPE_CHECKING:
+    from repro.core.system import ScaloSystem
+    from repro.faults.health import HealthMonitor
+
+#: Replicated coordinator checkpoint: coordinator id, query seq (LE).
+_CKPT = struct.Struct("<HI")
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One coordinator handover."""
+
+    old_coordinator: int
+    new_coordinator: int
+    restored_query_seq: int
+
+
+@dataclass
+class FailoverManager:
+    """Tracks the coordinator and re-materialises its state on failover."""
+
+    system: "ScaloSystem"
+    health: "HealthMonitor | None" = None
+    #: when given, a failover re-runs the ILP over the survivors
+    flows: list = field(default_factory=list)
+    journal: WriteAheadJournal = field(default_factory=WriteAheadJournal)
+    history: list[FailoverEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.coordinator = self._elect()
+        self.last_schedule = None
+        self.checkpoint()
+
+    # -- election -----------------------------------------------------------------
+
+    def _alive(self) -> list[int]:
+        alive = self.system.alive_node_ids
+        if self.health is not None:
+            believed = set(self.health.alive_nodes)
+            filtered = [n for n in alive if n in believed]
+            if filtered:
+                return filtered
+        return alive
+
+    def _elect(self) -> int:
+        alive = self._alive()
+        if not alive:
+            raise NodeFailure(-1, "no alive node to coordinate")
+        return alive[0]  # deterministic: lowest id wins
+
+    # -- state replication ---------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Replicate the coordinator's query state fleet-wide.
+
+        Modelled as one shared journal: the paper's selective
+        centralisation keeps this state tiny (a sequence counter), so
+        it piggybacks on the hash broadcasts every implant hears.
+        """
+        self.journal.write_checkpoint(
+            _CKPT.pack(self.coordinator, self.system._query_seq)
+        )
+
+    # -- stepping ------------------------------------------------------------------
+
+    def step(self) -> FailoverEvent | None:
+        """Re-elect; on a change, restore state from the checkpoint."""
+        new = self._elect()
+        if new == self.coordinator:
+            return None
+        old = self.coordinator
+        tel = self.system.telemetry
+        with tel.span("failover", old=old, new=new):
+            self.coordinator = new
+            restored_seq = self.system._query_seq
+            payload = self.journal.checkpoint_payload()
+            if payload is not None:
+                _, restored_seq = _CKPT.unpack(payload)
+                self.system._query_seq = restored_seq
+            if self.flows:
+                from repro.errors import SchedulingError
+
+                try:
+                    self.last_schedule = self.system.reschedule(self.flows)
+                except SchedulingError:
+                    self.last_schedule = None
+        tel.inc("recovery.failovers")
+        event = FailoverEvent(old, new, restored_seq)
+        self.history.append(event)
+        return event

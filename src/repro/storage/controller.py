@@ -13,17 +13,20 @@ are kept using the paper's calibrated costs.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import StorageError
+from repro.recovery.journal import RecordType, WriteAheadJournal
 from repro.storage.layout import (
     CHUNKED_READ_MS_PER_WINDOW,
     CHUNKED_WRITE_MS_PER_WINDOW,
 )
 from repro.storage.nvm import NVMDevice, PAGE_BYTES
-from repro.storage.partitions import PartitionTable
+from repro.storage.partitions import PARTITION_NAMES, PartitionTable
 from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 
 #: SC SRAM buffer size (paper §5: sized to 24 KB from the NVSim numbers).
@@ -33,11 +36,29 @@ SC_BUFFER_BYTES = 24 * 1024
 SC_LATENCY_FREE_MS = 0.03
 SC_LATENCY_BUSY_MS = 0.04
 
+#: Auto-compaction threshold: checkpoint after this many journal records.
+CHECKPOINT_EVERY_RECORDS = 512
+
+#: Journal record payload codecs (all little-endian).
+_WINDOW_REC = struct.Struct("<HIQIQ")  # electrode, window, addr, len, head
+_HASH_REC = struct.Struct("<IQIdHHQ")  # window, addr, len, time, nsig, ncomp, head
+_APPDATA_REC = struct.Struct("<QIQ")  # addr, len, head (key prefixed)
+_CKPT_MAGIC = b"SCK1"
+
 
 @dataclass
 class _StoredObject:
     address: int
     length: int
+
+
+@dataclass
+class StorageRecovery:
+    """What one crash recovery replayed."""
+
+    checkpoint_used: bool
+    records_replayed: int
+    torn_tail: bool
 
 
 @dataclass
@@ -77,6 +98,10 @@ class StorageController:
         self._templates: dict[str, _StoredObject] = {}
         self._next_page: dict[str, int] = {}
         self.last_written_page: int | None = None  # the metadata register
+        #: durable write-ahead journal + checkpoint (lives in the ``mc``
+        #: partition; survives crashes, unlike the metadata dicts above)
+        self.journal = WriteAheadJournal()
+        self._records_at_checkpoint = 0
 
     # -- low-level page append ----------------------------------------------------
 
@@ -92,15 +117,9 @@ class StorageController:
         while cursor < len(data):
             take = min(PAGE_BYTES - offset, len(data) - cursor)
             chunk = data[cursor : cursor + take]
-            existing = self.device._pages.get(page)
             if page in self.device._programmed:
-                merged = bytearray(existing or b"\xff" * PAGE_BYTES)
-                merged[offset : offset + take] = chunk
-                # model in-place page update as erase-free buffer merge
-                self.device._pages[page] = bytes(merged)
-                self.device.stats.page_writes += 1
-                self.device.stats.busy_ms += 0.350
-                self.device.stats.dynamic_energy_nj += 1374.0
+                # erase-free buffer merge, verified by the ECC engine
+                self.device.rewrite_range(page, offset, chunk)
             else:
                 padded = bytearray(b"\xff" * PAGE_BYTES)
                 padded[offset : offset + take] = chunk
@@ -147,10 +166,18 @@ class StorageController:
                 self.device.stats.page_writes,
             )
         address = self._append_bytes("signals", data)
+        self.journal.append(
+            RecordType.WINDOW,
+            _WINDOW_REC.pack(
+                electrode, window_index, address, len(data),
+                self.table["signals"].write_head,
+            ),
+        )
         self._windows[(electrode, window_index)] = _StoredObject(address, len(data))
         self.busy_ms += SC_LATENCY_FREE_MS + CHUNKED_WRITE_MS_PER_WINDOW
         if metered:
             self._meter("windows_stored", busy0, reads0, writes0)
+        self._maybe_checkpoint()
 
     def store_channel_windows(
         self, window_index: int, windows: np.ndarray
@@ -207,12 +234,21 @@ class StorageController:
                 self.device.stats.page_writes,
             )
         address = self._append_bytes("hashes", data)
+        self.journal.append(
+            RecordType.HASH_BATCH,
+            _HASH_REC.pack(
+                window_index, address, len(data), time_ms,
+                len(signatures), n_components,
+                self.table["hashes"].write_head,
+            ),
+        )
         self._hashes[window_index] = _StoredObject(address, len(data))
         self._hash_meta[window_index] = (time_ms, len(signatures), n_components)
         self._hash_times.append(time_ms)
         self.busy_ms += SC_LATENCY_FREE_MS
         if metered:
             self._meter("hash_batches_stored", busy0, reads0, writes0)
+        self._maybe_checkpoint()
 
     def read_hash_batch(self, window_index: int) -> list[tuple[int, ...]]:
         try:
@@ -237,6 +273,10 @@ class StorageController:
             for i in range(n_signatures)
         ]
 
+    def stored_hash_windows(self) -> list[int]:
+        """All window indexes with a stored hash batch (sorted)."""
+        return sorted(self._hashes)
+
     def recent_hash_windows(self, now_ms: float, horizon_ms: float) -> list[int]:
         """Window indexes whose hashes fall in ``[now - horizon, now]``."""
         return [
@@ -252,8 +292,17 @@ class StorageController:
         if not data:
             raise StorageError("refusing to store an empty object")
         address = self._append_bytes("appdata", data)
+        encoded = key.encode("utf-8")
+        self.journal.append(
+            RecordType.APPDATA,
+            struct.pack("<H", len(encoded)) + encoded
+            + _APPDATA_REC.pack(
+                address, len(data), self.table["appdata"].write_head
+            ),
+        )
         self._templates[key] = _StoredObject(address, len(data))
         self.busy_ms += SC_LATENCY_FREE_MS
+        self._maybe_checkpoint()
 
     def read_appdata(self, key: str) -> bytes:
         try:
@@ -265,3 +314,166 @@ class StorageController:
 
     def appdata_keys(self) -> list[str]:
         return sorted(self._templates)
+
+    # -- crash consistency -------------------------------------------------------------
+
+    def _serialize_state(self) -> bytes:
+        """Canonical bytes of the SRAM metadata (checkpoint payload).
+
+        Dict entries serialise in insertion order, so a replayed
+        controller (which re-inserts in journal order) serialises — and
+        digests — byte-identically to the pre-crash original.
+        """
+        out = bytearray(_CKPT_MAGIC)
+        out += struct.pack("<I", len(self._windows))
+        for (electrode, window), obj in self._windows.items():
+            out += struct.pack("<HIQI", electrode, window, obj.address, obj.length)
+        out += struct.pack("<I", len(self._hashes))
+        for window, obj in self._hashes.items():
+            time_ms, n_sig, n_comp = self._hash_meta[window]
+            out += struct.pack(
+                "<IQIdHH", window, obj.address, obj.length, time_ms, n_sig, n_comp
+            )
+        out += struct.pack("<I", len(self._hash_times))
+        for time_ms in self._hash_times:
+            out += struct.pack("<d", time_ms)
+        out += struct.pack("<I", len(self._templates))
+        for key, obj in self._templates.items():
+            encoded = key.encode("utf-8")
+            out += struct.pack("<H", len(encoded)) + encoded
+            out += struct.pack("<QI", obj.address, obj.length)
+        out += struct.pack(
+            "<q",
+            -1 if self.last_written_page is None else self.last_written_page,
+        )
+        for name in PARTITION_NAMES:
+            out += struct.pack("<Q", self.table[name].write_head)
+        return bytes(out)
+
+    def _restore_state(self, payload: bytes) -> None:
+        from repro.errors import RecoveryError
+
+        if payload[:4] != _CKPT_MAGIC:
+            raise RecoveryError("checkpoint payload has a bad magic")
+        offset = 4
+        (n,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        for _ in range(n):
+            electrode, window, addr, length = struct.unpack_from(
+                "<HIQI", payload, offset
+            )
+            offset += 18
+            self._windows[(electrode, window)] = _StoredObject(addr, length)
+        (n,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        for _ in range(n):
+            window, addr, length, time_ms, n_sig, n_comp = struct.unpack_from(
+                "<IQIdHH", payload, offset
+            )
+            offset += 28
+            self._hashes[window] = _StoredObject(addr, length)
+            self._hash_meta[window] = (time_ms, n_sig, n_comp)
+        (n,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        for _ in range(n):
+            (time_ms,) = struct.unpack_from("<d", payload, offset)
+            offset += 8
+            self._hash_times.append(time_ms)
+        (n,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        for _ in range(n):
+            (key_len,) = struct.unpack_from("<H", payload, offset)
+            offset += 2
+            key = payload[offset : offset + key_len].decode("utf-8")
+            offset += key_len
+            addr, length = struct.unpack_from("<QI", payload, offset)
+            offset += 12
+            self._templates[key] = _StoredObject(addr, length)
+        (last_page,) = struct.unpack_from("<q", payload, offset)
+        offset += 8
+        self.last_written_page = None if last_page < 0 else last_page
+        for name in PARTITION_NAMES:
+            (head,) = struct.unpack_from("<Q", payload, offset)
+            offset += 8
+            self.table[name].write_head = head
+
+    def _apply_record(self, rtype: RecordType, payload: bytes) -> None:
+        if rtype is RecordType.WINDOW:
+            electrode, window, addr, length, head = _WINDOW_REC.unpack(payload)
+            self._windows[(electrode, window)] = _StoredObject(addr, length)
+            self.table["signals"].write_head = head
+        elif rtype is RecordType.HASH_BATCH:
+            window, addr, length, time_ms, n_sig, n_comp, head = (
+                _HASH_REC.unpack(payload)
+            )
+            self._hashes[window] = _StoredObject(addr, length)
+            self._hash_meta[window] = (time_ms, n_sig, n_comp)
+            self._hash_times.append(time_ms)
+            self.table["hashes"].write_head = head
+        elif rtype is RecordType.APPDATA:
+            (key_len,) = struct.unpack_from("<H", payload, 0)
+            key = payload[2 : 2 + key_len].decode("utf-8")
+            addr, length, head = _APPDATA_REC.unpack_from(payload, 2 + key_len)
+            self._templates[key] = _StoredObject(addr, length)
+            self.table["appdata"].write_head = head
+        else:  # pragma: no cover - node journals hold only the above
+            return
+        self.last_written_page = (addr + length - 1) // PAGE_BYTES
+
+    def checkpoint(self) -> None:
+        """Atomically checkpoint the metadata and truncate the journal.
+
+        Modelled as free: the checkpoint rides the MC partition's idle
+        write slots, so it books no latency or energy against the data
+        path (the journal frames themselves ride the page programs that
+        carry the data they describe).
+        """
+        self.journal.write_checkpoint(self._serialize_state())
+        self._records_at_checkpoint = self.journal.records_appended
+        self.telemetry.inc("recovery.checkpoints")
+
+    def _maybe_checkpoint(self) -> None:
+        appended = self.journal.records_appended - self._records_at_checkpoint
+        if appended >= CHECKPOINT_EVERY_RECORDS:
+            self.checkpoint()
+
+    def lose_sram(self) -> None:
+        """Model a power loss: the SC's SRAM contents vanish.
+
+        The write buffer, the metadata dicts, the last-written-page
+        register, and the partition write heads are all SRAM state; the
+        NVM pages and the journal survive (NAND is non-volatile).
+        """
+        self._buffer = bytearray()
+        self._buffer_partition = None
+        self._windows = {}
+        self._hashes = {}
+        self._hash_times = []
+        self._hash_meta = {}
+        self._templates = {}
+        self._next_page = {}
+        self.last_written_page = None
+        self.table = PartitionTable(
+            self.device.capacity_bytes, fractions=dict(self.table.fractions)
+        )
+
+    def recover(self) -> StorageRecovery:
+        """Rebuild the SRAM metadata from checkpoint + journal replay."""
+        self.lose_sram()
+        replayed = self.journal.replay()
+        if replayed.checkpoint is not None:
+            self._restore_state(replayed.checkpoint)
+        for record in replayed.records:
+            self._apply_record(record.rtype, record.payload)
+        if replayed.torn:
+            self.journal.discard_torn_tail()
+        self._records_at_checkpoint = self.journal.records_appended
+        return StorageRecovery(
+            checkpoint_used=replayed.checkpoint is not None,
+            records_replayed=len(replayed.records),
+            torn_tail=replayed.torn,
+        )
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical metadata bytes (crash-test oracle)."""
+        return hashlib.sha256(self._serialize_state()).hexdigest()

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import StorageError
+from repro.errors import StorageError, UncorrectableError
+from repro.recovery.ecc import PageECC, compute_ecc, decode_page
 
 #: Device geometry (paper §5).
 PAGE_BYTES = 4 * 1024
@@ -48,6 +49,10 @@ class NVMStats:
     block_erases: int = 0
     busy_ms: float = 0.0
     dynamic_energy_nj: float = 0.0
+    #: single-bit errors the SECDED engine corrected on access/scrub
+    ecc_corrected: int = 0
+    #: pages found damaged beyond SECDED (multi-bit rot)
+    ecc_uncorrectable: int = 0
 
     @property
     def dynamic_energy_mj(self) -> float:
@@ -61,12 +66,23 @@ class NVMDevice:
     Pages must be erased (block-wise) before programming; reads address
     any 8-byte-aligned range within a programmed page.  Contents of
     unprogrammed pages read as 0xFF, like real NAND.
+
+    With ``ecc_enabled`` (the default) every programmed page carries
+    SECDED Hamming ECC + CRC in a modelled spare area: reads verify and
+    transparently correct single-bit rot, and multi-bit damage raises a
+    typed :class:`~repro.errors.UncorrectableError` instead of silently
+    returning garbage.  A page found uncorrectable stays *poisoned*
+    (reads keep raising) until its block is erased or the page is
+    rewritten in full, like a real device's grown-bad-page handling.
     """
 
     capacity_bytes: int = DEFAULT_CAPACITY_BYTES
+    ecc_enabled: bool = True
     stats: NVMStats = field(default_factory=NVMStats)
     _pages: dict[int, bytes] = field(default_factory=dict)
     _programmed: set[int] = field(default_factory=set)
+    _ecc: dict[int, PageECC] = field(default_factory=dict, repr=False)
+    _poisoned: set[int] = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity_bytes < BLOCK_BYTES:
@@ -98,6 +114,8 @@ class NVMDevice:
         for page in range(first, first + PAGES_PER_BLOCK):
             self._pages.pop(page, None)
             self._programmed.discard(page)
+            self._ecc.pop(page, None)
+            self._poisoned.discard(page)
         self.stats.block_erases += 1
         self.stats.busy_ms += ERASE_MS
         # erase energy folded into the write figure, as NVSim reports
@@ -111,8 +129,49 @@ class NVMDevice:
             )
         if len(data) > PAGE_BYTES:
             raise StorageError(f"page data {len(data)} B exceeds {PAGE_BYTES} B")
-        self._pages[page_index] = data.ljust(PAGE_BYTES, b"\xff")
+        padded = data.ljust(PAGE_BYTES, b"\xff")
+        self._pages[page_index] = padded
         self._programmed.add(page_index)
+        if self.ecc_enabled:
+            self._ecc[page_index] = compute_ecc(padded)
+        self.stats.page_writes += 1
+        self.stats.busy_ms += PROGRAM_MS
+        self.stats.dynamic_energy_nj += WRITE_NJ_PER_PAGE
+
+    def rewrite_range(self, page_index: int, offset: int, chunk: bytes) -> None:
+        """In-place partial-page update through the SC's SRAM buffer.
+
+        Models the controller's read-merge-write of an already-programmed
+        page (erase-free, as the buffered append path does).  The merge
+        runs through the ECC engine: existing content is verified first,
+        single-bit rot corrected before it is re-committed, and damage
+        beyond SECDED marks the page poisoned (the write itself still
+        lands — the surrounding old bytes are what was lost).  A rewrite
+        covering the whole page replaces everything and clears the poison.
+        """
+        self._check_page(page_index)
+        if page_index not in self._programmed:
+            raise StorageError(f"page {page_index} not programmed")
+        if offset < 0 or not chunk or offset + len(chunk) > PAGE_BYTES:
+            raise StorageError("rewrite range outside the page")
+        existing = self._pages[page_index]
+        whole_page = offset == 0 and len(chunk) == PAGE_BYTES
+        if self.ecc_enabled and not whole_page:
+            result = decode_page(existing, self._ecc[page_index])
+            if result.corrected_bits:
+                self.stats.ecc_corrected += result.corrected_bits
+                existing = result.data
+            elif not result.ok and page_index not in self._poisoned:
+                self.stats.ecc_uncorrectable += 1
+                self._poisoned.add(page_index)
+        merged = bytearray(existing)
+        merged[offset : offset + len(chunk)] = chunk
+        merged = bytes(merged)
+        self._pages[page_index] = merged
+        if self.ecc_enabled:
+            self._ecc[page_index] = compute_ecc(merged)
+        if whole_page:
+            self._poisoned.discard(page_index)
         self.stats.page_writes += 1
         self.stats.busy_ms += PROGRAM_MS
         self.stats.dynamic_energy_nj += WRITE_NJ_PER_PAGE
@@ -136,7 +195,57 @@ class NVMDevice:
         self.stats.dynamic_energy_nj += (
             READ_NJ_PER_PAGE * length / PAGE_BYTES
         )
+        page = self._verify_on_access(page_index, page)
         return page[offset : offset + length]
+
+    def _verify_on_access(self, page_index: int, page: bytes) -> bytes:
+        """Run the SECDED engine on a page transfer; raise on bad pages."""
+        if not self.ecc_enabled or page_index not in self._ecc:
+            return page
+        if page_index in self._poisoned:
+            raise UncorrectableError(page_index, "page poisoned")
+        result = decode_page(page, self._ecc[page_index])
+        if result.corrected_bits:
+            # scrub-on-read: commit the corrected content back
+            self.stats.ecc_corrected += result.corrected_bits
+            self._pages[page_index] = result.data
+            return result.data
+        if not result.ok:
+            self.stats.ecc_uncorrectable += 1
+            self._poisoned.add(page_index)
+            raise UncorrectableError(page_index, result.detail)
+        return page
+
+    def check_page(self, page_index: int) -> tuple[int, bool]:
+        """One scrubber visit: verify and repair a page in place.
+
+        Books one page read.  Returns ``(bits_corrected, uncorrectable)``;
+        an uncorrectable page is poisoned (counted once, at the
+        transition) and subsequent reads raise.
+        """
+        self._check_page(page_index)
+        if not self.ecc_enabled or page_index not in self._ecc:
+            return 0, False
+        if page_index in self._poisoned:
+            return 0, True
+        self.stats.page_reads += 1
+        self.stats.busy_ms += READ_PAGE_MS
+        self.stats.dynamic_energy_nj += READ_NJ_PER_PAGE
+        result = decode_page(self._pages[page_index], self._ecc[page_index])
+        if result.corrected_bits:
+            self.stats.ecc_corrected += result.corrected_bits
+            self._pages[page_index] = result.data
+            return result.corrected_bits, False
+        if not result.ok:
+            self.stats.ecc_uncorrectable += 1
+            self._poisoned.add(page_index)
+            return 0, True
+        return 0, False
+
+    @property
+    def poisoned_pages(self) -> list[int]:
+        """Pages known damaged beyond SECDED (sorted)."""
+        return sorted(self._poisoned)
 
     def read_page(self, page_index: int) -> bytes:
         """Read one full page."""

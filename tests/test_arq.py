@@ -313,3 +313,72 @@ class TestDuplicateSuppression:
             link.send(_packet(seq=i))
         assert len(seen) == 5
         assert link.stats.duplicates_suppressed == 0
+
+
+class TestDedupWindowBound:
+    """The suppression memory is an LRU bounded by ``dedup_window``."""
+
+    def _link(self, window):
+        link = ReliableLink(
+            _network(), config=ARQConfig(dedup_window=window)
+        )
+        seen = []
+        link.attach(0, lambda p: None)
+        link.attach(1, seen.append)
+        return link, seen
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ARQConfig(dedup_window=0)
+        with pytest.raises(ConfigurationError):
+            ARQConfig(dedup_window=-3)
+
+    def test_unbounded_window_never_evicts(self):
+        link, seen = self._link(None)
+        for i in range(200):
+            link.send(_packet(seq=i))
+        assert len(seen) == 200
+        assert link.stats.dedup_evictions == 0
+
+    def test_eviction_allows_redelivery(self):
+        link, seen = self._link(4)
+        link.send(_packet(seq=0))
+        for seq in range(1, 5):
+            link.send(_packet(seq=seq))
+        # seq 0's entry aged out of the 4-deep window...
+        assert link.stats.dedup_evictions >= 1
+        before = len(seen)
+        link.send(_packet(seq=0))
+        # ...so a late copy is redelivered rather than suppressed
+        assert len(seen) == before + 1
+        assert link.stats.duplicates_suppressed == 0
+
+    def test_hit_refreshes_recency(self):
+        link, seen = self._link(3)
+        link.send(_packet(seq=0))  # accept tick 1
+        link.send(_packet(seq=1))  # accept tick 2
+        link.send(_packet(seq=0))  # duplicate: refreshed, moved to back
+        link.send(_packet(seq=2))  # tick 3
+        link.send(_packet(seq=3))  # tick 4: without the refresh, seq 0
+        link.send(_packet(seq=0))  # (tick 1) would have been evicted
+        assert link.stats.duplicates_suppressed == 2
+
+    def test_memory_stays_bounded(self):
+        link, _ = self._link(16)
+        for seq in range(500):
+            link.send(_packet(seq=seq & 0xFFFF))
+        assert len(link._seen) <= 16
+        assert link.stats.dedup_evictions == 500 - len(link._seen)
+
+    def test_forget_drops_only_that_receiver(self):
+        link = ReliableLink(_network(), config=ARQConfig(dedup_window=64))
+        inboxes = {1: [], 2: []}
+        link.attach(0, lambda p: None)
+        link.attach(1, inboxes[1].append)
+        link.attach(2, inboxes[2].append)
+        link.send(_packet(dst=BROADCAST, seq=9))
+        link.forget(1)  # node 1 crashed: its dedup memory was SRAM
+        link.send(_packet(dst=BROADCAST, seq=9))
+        assert len(inboxes[1]) == 2  # redelivered after the reboot
+        assert len(inboxes[2]) == 1  # peer still suppresses
+        assert link.stats.duplicates_suppressed == 1

@@ -218,6 +218,61 @@ class TestHealthMonitor:
         with pytest.raises(ConfigurationError):
             HealthMonitor(n_nodes=2).heartbeat(5, 0)
 
+    def test_flapping_die_reboot_die(self):
+        """Dead → alive → dead again: every transition lands in history."""
+        monitor = HealthMonitor(n_nodes=2, miss_threshold=2)
+        for r in range(3):
+            monitor.heartbeat(0, r)
+            monitor.heartbeat(1, r)
+            monitor.tick(r)
+        monitor.heartbeat(0, 3)  # node 1 goes silent
+        assert monitor.tick(3) == []
+        monitor.heartbeat(0, 4)
+        assert monitor.tick(4) == [1]
+        monitor.heartbeat(1, 5)  # reboot: fresh heartbeat revives it
+        assert monitor.is_alive(1)
+        monitor.tick(5)
+        monitor.tick(6)  # silent again
+        assert monitor.tick(7) == [1]
+        assert [h for h in monitor.history if h[1] == 1] == [
+            (4, 1, "dead"), (5, 1, "recovered"), (7, 1, "dead"),
+        ]
+
+    def test_stale_heartbeat_neither_revives_nor_rewinds(self):
+        monitor = HealthMonitor(n_nodes=1, miss_threshold=2)
+        monitor.heartbeat(0, 5)
+        monitor.tick(5)
+        assert monitor.tick(7) == [0]
+        # a delayed pre-crash heartbeat (round 3 < last seen 5) arrives late
+        monitor.heartbeat(0, 3)
+        assert not monitor.is_alive(0)
+        assert monitor.tick(8) == []
+        # only fresh evidence flips dead -> alive
+        monitor.heartbeat(0, 8)
+        assert monitor.is_alive(0)
+
+    def test_injector_flapping_node_recovers_twice(self):
+        from repro.network.arq import ARQConfig
+
+        system = ScaloSystem(
+            n_nodes=2, electrodes_per_node=2, seed=0, arq=ARQConfig()
+        )
+        plan = FaultPlan(
+            n_nodes=2, n_rounds=8,
+            events=[
+                FaultEvent(1, 1, FaultKind.NODE_CRASH),
+                FaultEvent(3, 1, FaultKind.NODE_REBOOT),
+                FaultEvent(5, 1, FaultKind.NODE_CRASH),
+                FaultEvent(7, 1, FaultKind.NODE_REBOOT),
+            ],
+        )
+        injector = FaultInjector(system, plan, resync_on_reboot=True)
+        injector.run()
+        assert system.is_alive(1)
+        recoveries = [line for line in injector.log if "node recovered" in line]
+        assert len(recoveries) == 2
+        assert injector.health.is_alive(1)
+
 
 class TestGracefulDegradation:
     """The acceptance scenario: N>=4 nodes, one crash, queries survive."""
@@ -396,11 +451,21 @@ class TestNVMBitRot:
     def test_rot_only_affects_programmed_pages(self):
         from repro.storage.nvm import NVMDevice
 
-        device = NVMDevice(capacity_bytes=2 * 1024 * 1024)
+        # without ECC the rotted byte is returned raw
+        device = NVMDevice(capacity_bytes=2 * 1024 * 1024, ecc_enabled=False)
         assert device.inject_bit_rot(0, np.array([0, 1, 2])) == 0
         device.program_page(0, b"\x00" * 64)
         assert device.inject_bit_rot(0, np.array([0])) == 1
         assert device.read(0, 0, 8)[0] == 0x80
+
+    def test_ecc_corrects_single_bit_rot_on_read(self):
+        from repro.storage.nvm import NVMDevice
+
+        device = NVMDevice(capacity_bytes=2 * 1024 * 1024)
+        device.program_page(0, b"\x00" * 64)
+        assert device.inject_bit_rot(0, np.array([0])) == 1
+        assert device.read(0, 0, 8)[0] == 0x00  # SECDED repaired it
+        assert device.stats.ecc_corrected == 1
 
     def test_rot_is_invisible_to_stats(self):
         from repro.storage.nvm import NVMDevice

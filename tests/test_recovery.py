@@ -1,0 +1,462 @@
+"""Crash-consistent recovery: ECC, journal replay, scrub, resync, failover."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.queries import QuerySpec
+from repro.core.system import ScaloSystem
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.network.arq import ARQConfig
+from repro.network.channel import flip_bits
+from repro.network.packet import PayloadKind
+from repro.recovery.ecc import compute_ecc, decode_page
+from repro.recovery.journal import (
+    JournalRecord,
+    RecordType,
+    WriteAheadJournal,
+)
+from repro.recovery.scrub import Scrubber
+from repro.storage.controller import StorageController
+from repro.storage.nvm import PAGE_BYTES, NVMDevice
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.scenarios import recovery_session
+from repro.units import WINDOW_SAMPLES
+
+
+def _page(seed=0, n=PAGE_BYTES):
+    rng = np.random.default_rng(seed)
+    return bytes(rng.integers(0, 256, n, dtype=np.uint8))
+
+
+class TestPageECC:
+    def test_clean_page_roundtrip(self):
+        data = _page()
+        result = decode_page(data, compute_ecc(data))
+        assert result.ok
+        assert result.corrected_bits == 0
+        assert result.data == data
+
+    def test_single_bit_corrected_at_any_position(self):
+        data = _page(1)
+        for bit in (0, 7, 8, 12345, 8 * PAGE_BYTES - 1):
+            damaged = flip_bits(data, np.array([bit]))
+            result = decode_page(damaged, compute_ecc(data))
+            assert result.ok
+            assert result.corrected_bits == 1
+            assert result.data == data
+
+    def test_double_bit_detected_uncorrectable(self):
+        data = _page(2)
+        damaged = flip_bits(data, np.array([3, 77]))
+        result = decode_page(damaged, compute_ecc(data))
+        assert not result.ok
+        assert result.data == damaged  # handed back unmodified
+
+    def test_triple_flip_not_silently_miscorrected(self):
+        # odd-weight damage looks like a single-bit error to SECDED; the
+        # CRC must veto the bogus correction instead of returning wrong data
+        data = _page(3)
+        damaged = flip_bits(data, np.array([5, 500, 5000]))
+        result = decode_page(damaged, compute_ecc(data))
+        assert not result.ok
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.binary(min_size=64, max_size=64),
+        bit=st.integers(0, 8 * 64 - 1),
+    )
+    def test_single_flip_always_corrected(self, data, bit):
+        damaged = flip_bits(data, np.array([bit]))
+        result = decode_page(damaged, compute_ecc(data))
+        assert result.ok
+        assert result.data == data
+
+
+class TestWriteAheadJournal:
+    def test_append_replay_roundtrip(self):
+        journal = WriteAheadJournal()
+        records = [
+            JournalRecord(RecordType.WINDOW, b"w0"),
+            JournalRecord(RecordType.HASH_BATCH, b"h0"),
+            JournalRecord(RecordType.APPDATA, b""),
+        ]
+        for record in records:
+            journal.append(record.rtype, record.payload)
+        replayed = journal.replay()
+        assert replayed.checkpoint is None
+        assert replayed.records == records
+        assert not replayed.torn
+
+    def test_checkpoint_truncates_log(self):
+        journal = WriteAheadJournal()
+        journal.append(RecordType.WINDOW, b"before")
+        journal.write_checkpoint(b"state-0")
+        journal.append(RecordType.WINDOW, b"after")
+        replayed = journal.replay()
+        assert replayed.checkpoint == b"state-0"
+        assert [r.payload for r in replayed.records] == [b"after"]
+
+    def test_torn_checkpoint_falls_back_to_previous_slot(self):
+        journal = WriteAheadJournal()
+        journal.write_checkpoint(b"old")
+        journal.write_checkpoint(b"new")
+        image = journal.snapshot()
+        slots = list(image.checkpoints)
+        slots[image.active] = slots[image.active][:-3]  # torn mid-write
+        torn = WriteAheadJournal.from_image(
+            type(image)(image.log, (slots[0], slots[1]), image.active)
+        )
+        assert torn.checkpoint_payload() == b"old"
+
+    def test_torn_tail_recovers_consistent_prefix(self):
+        journal = WriteAheadJournal()
+        journal.append(RecordType.WINDOW, b"first")
+        journal.append(RecordType.WINDOW, b"second")
+        whole = journal.snapshot()
+        first_only = WriteAheadJournal()
+        first_only.append(RecordType.WINDOW, b"first")
+        tail = len(whole.log) - first_only.log_bytes
+        for cut in range(1, tail + 1):
+            replayed = WriteAheadJournal.from_image(whole.torn(cut)).replay()
+            # removing the entire frame leaves a clean log; any partial
+            # tear is detected
+            assert replayed.torn == (cut < tail)
+            assert [r.payload for r in replayed.records] == [b"first"]
+
+    def test_discard_torn_tail_keeps_future_appends_reachable(self):
+        journal = WriteAheadJournal()
+        journal.append(RecordType.WINDOW, b"kept")
+        journal.append(RecordType.WINDOW, b"torn-away")
+        recovered = WriteAheadJournal.from_image(journal.snapshot().torn(2))
+        assert recovered.discard_torn_tail() > 0
+        recovered.append(RecordType.WINDOW, b"post-crash")
+        replayed = recovered.replay()
+        assert not replayed.torn
+        assert [r.payload for r in replayed.records] == [b"kept", b"post-crash"]
+
+
+def _controller():
+    return StorageController(device=NVMDevice(capacity_bytes=32 * 1024 * 1024))
+
+
+def _apply_op(controller, rng, op):
+    if op[0] == "window":
+        _, electrode, window, n_samples = op
+        controller.store_window(
+            electrode, window,
+            rng.integers(-1000, 1000, n_samples).astype(np.int16),
+        )
+    elif op[0] == "hashes":
+        _, window, n_signatures = op
+        controller.store_hash_batch(
+            window, float(window), [(1, 2, 3)] * n_signatures
+        )
+    elif op[0] == "appdata":
+        _, key, size = op
+        controller.store_appdata(key, bytes(range(size % 251)) or b"\x00")
+    else:
+        controller.checkpoint()
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("window"), st.integers(0, 3), st.integers(0, 5),
+                  st.integers(1, 64)),
+        st.tuples(st.just("hashes"), st.integers(0, 9), st.integers(1, 6)),
+        st.tuples(st.just("appdata"),
+                  st.sampled_from(["tpl-a", "tpl-b", "weights"]),
+                  st.integers(1, 100)),
+        st.tuples(st.just("checkpoint")),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestCrashConsistency:
+    """Replay from the journal must equal the pre-crash state, byte for
+    byte, for a crash cut at *every* record boundary and mid-frame."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=_OPS)
+    def test_replay_matches_state_at_every_boundary(self, ops):
+        controller = _controller()
+        rng = np.random.default_rng(0)
+        snapshots = [(controller.journal.snapshot(), controller.state_digest())]
+        for op in ops:
+            _apply_op(controller, rng, op)
+            snapshots.append(
+                (controller.journal.snapshot(), controller.state_digest())
+            )
+        for image, digest in snapshots:
+            crashed = StorageController(device=controller.device)
+            crashed.journal = WriteAheadJournal.from_image(image)
+            crashed.recover()
+            assert crashed.state_digest() == digest
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=_OPS)
+    def test_mid_frame_tear_lands_on_previous_boundary(self, ops):
+        controller = _controller()
+        rng = np.random.default_rng(0)
+        snapshots = [(controller.journal.snapshot(), controller.state_digest())]
+        for op in ops:
+            _apply_op(controller, rng, op)
+            snapshots.append(
+                (controller.journal.snapshot(), controller.state_digest())
+            )
+        for (prev_image, prev_digest), (image, _) in zip(
+            snapshots, snapshots[1:]
+        ):
+            grown = len(image.log) - len(prev_image.log)
+            if grown <= 0:  # a checkpoint op truncated the log
+                continue
+            for cut in (1, grown // 2, grown):
+                crashed = StorageController(device=controller.device)
+                crashed.journal = WriteAheadJournal.from_image(image.torn(cut))
+                report = crashed.recover()
+                assert crashed.state_digest() == prev_digest
+                assert report.torn_tail == (cut < grown)
+
+    def test_recovered_controller_serves_reads(self):
+        controller = _controller()
+        samples = np.arange(WINDOW_SAMPLES, dtype=np.int16)
+        controller.store_window(0, 0, samples)
+        controller.store_hash_batch(0, 0.0, [(7, 8, 9), (10, 11, 12)])
+        controller.store_appdata("tpl", b"template-bytes")
+        crashed = StorageController(device=controller.device)
+        crashed.journal = WriteAheadJournal.from_image(
+            controller.journal.snapshot()
+        )
+        report = crashed.recover()
+        assert report.records_replayed == 3
+        assert not report.checkpoint_used
+        np.testing.assert_array_equal(crashed.read_window(0, 0), samples)
+        assert crashed.read_hash_batch(0) == [(7, 8, 9), (10, 11, 12)]
+        assert crashed.read_appdata("tpl") == b"template-bytes"
+
+
+class TestScrubber:
+    def _device(self, n_pages=10, seed=0):
+        device = NVMDevice(capacity_bytes=2 * 1024 * 1024)
+        rng = np.random.default_rng(seed)
+        for page in range(n_pages):
+            device.program_page(
+                page, bytes(rng.integers(0, 256, PAGE_BYTES, dtype=np.uint8))
+            )
+        return device
+
+    def test_corrects_all_single_bit_rot(self):
+        device = self._device()
+        pristine = [device.read(p, 0, PAGE_BYTES) for p in range(10)]
+        for page in range(10):
+            device.inject_bit_rot(
+                page, np.array([(page * 97) % (8 * PAGE_BYTES)])
+            )
+        report = Scrubber(device).full_pass()
+        assert report.pages_scanned == 10
+        assert report.bits_corrected == 10
+        assert report.uncorrectable_pages == 0
+        assert [device.read(p, 0, PAGE_BYTES) for p in range(10)] == pristine
+
+    def test_round_budget_patrols_all_pages(self):
+        device = self._device(n_pages=5)
+        device.inject_bit_rot(4, np.array([17]))
+        scrubber = Scrubber(device, pages_per_round=2)
+        reports = [scrubber.step() for _ in range(3)]
+        assert [r.pages_scanned for r in reports] == [2, 2, 2]
+        assert sum(r.bits_corrected for r in reports) == 1
+
+    def test_double_bit_rot_poisons_page(self):
+        device = self._device(n_pages=2)
+        device.inject_bit_rot(1, np.array([0, 9]))
+        report = Scrubber(device).full_pass()
+        assert report.uncorrectable_pages == 1
+        assert device.poisoned_pages == [1]
+        with pytest.raises(UncorrectableError):
+            device.read(1, 0, 8)
+        device.read(0, 0, 8)  # the healthy page still serves
+        # a whole-page rewrite re-encodes the ECC and clears the poison
+        device.rewrite_range(1, 0, bytes(PAGE_BYTES))
+        assert device.read(1, 0, 8) == bytes(8)
+        assert device.poisoned_pages == []
+
+    def test_telemetry_counters(self):
+        telemetry = Telemetry()
+        device = self._device(n_pages=3)
+        device.inject_bit_rot(0, np.array([5]))
+        Scrubber(device, telemetry=telemetry).full_pass()
+        assert telemetry.registry.counter("recovery.scrub_pages") == 3
+        assert telemetry.registry.counter("recovery.scrub_corrected") == 1
+
+
+def _ingest_exchange(system, rng, window):
+    batch = system.ingest(
+        rng.normal(
+            size=(system.n_nodes, system.electrodes_per_node, WINDOW_SAMPLES)
+        ).astype(np.float32)
+    )
+    for src in system.alive_node_ids:
+        if batch[src]:
+            system.broadcast_hashes(src, batch[src], seq=window)
+    for node in system.alive_node_ids:
+        system.drain_inbox(node)
+
+
+class TestResync:
+    def test_pull_and_push_after_reboot(self):
+        system = ScaloSystem(
+            n_nodes=3, electrodes_per_node=2, seed=0, arq=ARQConfig()
+        )
+        rng = np.random.default_rng(0)
+        for window in range(3):
+            _ingest_exchange(system, rng, window)
+        system.fail_node(1)
+        _ingest_exchange(system, rng, 3)  # exchanged while node 1 is dark
+        report = system.recover_node(1, resync_horizon=4)
+        assert report.replay.records_replayed > 0
+        resync = report.resync
+        assert resync.peers == [0, 2]
+        assert resync.failed_peers == []
+        # pulled windows 0-3 from both peers; pushed its own 0-2 back
+        assert resync.batches_pulled == 8
+        assert resync.batches_pushed == 3
+        inbox = system.drain_inbox(1)
+        pulled_seqs = {
+            p.header.seq for p in inbox if p.header.kind == PayloadKind.HASHES
+        }
+        assert 3 in pulled_seqs  # the window it missed is now local
+        # and the fleet keeps going: the rebooted node re-joins ingest at
+        # its own (node-local) next window index
+        _ingest_exchange(system, rng, 4)
+        assert system.nodes[1].storage.stored_hash_windows() == [0, 1, 2, 3]
+
+    def test_resync_without_peers_is_empty(self):
+        system = ScaloSystem(n_nodes=1, electrodes_per_node=2, seed=0)
+        rng = np.random.default_rng(0)
+        system.ingest(
+            rng.normal(size=(1, 2, WINDOW_SAMPLES)).astype(np.float32)
+        )
+        system.fail_node(0)
+        report = system.recover_node(0)
+        assert report.resync.peers == []
+        assert report.resync.batches_pulled == 0
+
+
+class TestFailover:
+    def test_lowest_id_takeover_restores_query_seq(self):
+        system = ScaloSystem(
+            n_nodes=3, electrodes_per_node=2, seed=0, arq=ARQConfig()
+        )
+        manager = system.attach_failover()
+        assert manager.coordinator == 0
+        rng = np.random.default_rng(0)
+        for window in range(2):
+            _ingest_exchange(system, rng, window)
+        spec = QuerySpec(kind="q3", time_range_ms=100.0)
+        system.query_distributed(spec, (0, 2))
+        seq_before = system._query_seq
+        system.fail_node(0)
+        event = manager.step()
+        assert event is not None
+        assert (event.old_coordinator, event.new_coordinator) == (0, 1)
+        assert event.restored_query_seq == seq_before
+        assert system._query_seq == seq_before
+        result = system.query_distributed(spec, (0, 2))
+        assert result.coverage == pytest.approx(2 / 3)
+        assert manager.coordinator == 1
+        assert manager.history == [event]
+        assert manager.step() is None  # stable: no repeated handover
+
+    def test_health_belief_drives_election(self):
+        from repro.faults.health import HealthMonitor
+
+        system = ScaloSystem(n_nodes=3, electrodes_per_node=2, seed=0)
+        health = HealthMonitor(3, miss_threshold=2)
+        manager = system.attach_failover(health=health)
+        assert manager.coordinator == 0
+        # the monitor loses faith in node 0 even though it never crashed:
+        # failover follows the detector, not ground truth
+        health.heartbeat(1, 1)
+        health.heartbeat(2, 1)
+        assert health.tick(1) == [0]
+        event = manager.step()
+        assert event is not None
+        assert event.new_coordinator == 1
+
+
+class TestRecoverySessionEndToEnd:
+    """The PR's acceptance scenario: rot + mid-cycle crash + reboot, then
+    a Q3 answer identical to the no-fault twin at full coverage."""
+
+    @staticmethod
+    def _canonical(rows):
+        return [
+            (r.node, r.electrode, r.window_index, r.samples.tobytes())
+            for r in rows
+        ]
+
+    def test_repaired_run_matches_no_fault_run(self):
+        faulted_tel = Telemetry()
+        _, faulted = recovery_session(faulted_tel, seed=3, faults=True)
+        clean_tel = Telemetry()
+        _, clean = recovery_session(clean_tel, seed=3, faults=False)
+
+        assert faulted.coverage == 1.0
+        assert not faulted.degraded
+        assert self._canonical(faulted.rows) == self._canonical(clean.rows)
+
+        reg = faulted_tel.registry
+        assert reg.counter("recovery.scrub_corrected") > 0
+        assert reg.counter("recovery.records_replayed") > 0
+        assert reg.counter("recovery.resync_batches_pulled") > 0
+        assert reg.counter("recovery.nodes_recovered") == 1
+
+        # one complete recovery trace: the span exists and its children
+        # (replay, resync per peer) joined the same trace
+        (recovery_span,) = faulted_tel.tracer.spans_named("recovery")
+        for child in ("replay", "resync"):
+            spans = faulted_tel.tracer.spans_named(child)
+            assert spans, f"missing {child} span"
+            assert all(s.trace_id == recovery_span.trace_id for s in spans)
+
+    def test_faulted_run_is_deterministic(self):
+        tel_a, tel_b = Telemetry(), Telemetry()
+        _, run_a = recovery_session(tel_a, seed=5, faults=True)
+        _, run_b = recovery_session(tel_b, seed=5, faults=True)
+        assert self._canonical(run_a.rows) == self._canonical(run_b.rows)
+        assert list(tel_a.registry.counters()) == list(tel_b.registry.counters())
+
+    def test_clean_run_unaffected_by_instrumentation(self):
+        _, instrumented = recovery_session(Telemetry(), seed=1, faults=False)
+        _, bare = recovery_session(NULL_TELEMETRY, seed=1, faults=False)
+        assert self._canonical(instrumented.rows) == self._canonical(bare.rows)
+
+
+class TestEvalVariant:
+    def test_crash_recovery_coverage(self):
+        from repro.eval.resilience import crash_recovery_coverage
+
+        result = crash_recovery_coverage(
+            n_nodes=4, n_windows=5, crash_after=3, seed=1
+        )
+        assert result.before.degraded
+        assert result.coverage_before == pytest.approx(0.75)
+        assert not result.after.degraded
+        assert result.coverage_after == 1.0
+        assert result.records_replayed > 0
+        assert result.batches_pulled > 0
+        assert result.scrub_bits_corrected >= 1
+        # the recovered node answers for every window, pre- and post-crash
+        recovered_rows = {
+            r.window_index for r in result.after.rows if r.node == 1
+        }
+        assert recovered_rows == set(range(5))
+
+    def test_crash_after_validated(self):
+        from repro.eval.resilience import crash_recovery_coverage
+
+        with pytest.raises(ConfigurationError):
+            crash_recovery_coverage(n_windows=3, crash_after=4)
