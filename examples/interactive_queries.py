@@ -1,8 +1,9 @@
 """Interactive human-in-the-loop querying (paper §6.4, Fig. 10).
 
 Parses a Trill-style query with the on-device language, runs the three
-canonical queries functionally against per-node storage, and prints the
-Fig. 10 latency/QPS model.
+canonical queries through the stable ``repro.api`` facade — watching the
+storage controllers' hash-on-write signature cache answer the Q2 filter —
+and prints the Fig. 10 latency/QPS model.
 
 Run:  python examples/interactive_queries.py
 """
@@ -10,9 +11,8 @@ Run:  python examples/interactive_queries.py
 import numpy as np
 
 from repro import QueryCostModel, QuerySpec, parse_query
-from repro.apps.queries import QueryEngine, query_data_bytes
-from repro.hashing import LSHFamily
-from repro.storage import NVMDevice, StorageController
+from repro.api import Telemetry, build_system, run_query
+from repro.apps.queries import query_data_bytes
 
 
 def main() -> None:
@@ -22,36 +22,32 @@ def main() -> None:
     chain = parse_query(text)
     print(f"parsed query '{chain.var_name}': operations {chain.call_names}")
 
-    # --- functional execution against two nodes' NVM -------------------------
-    rng = np.random.default_rng(0)
-    lsh = LSHFamily.for_measure("dtw")
-    template = (rng.normal(size=120).cumsum() * 1000).round()
-    controllers = []
-    for node in range(2):
-        controller = StorageController(
-            device=NVMDevice(capacity_bytes=16 * 1024 * 1024)
-        )
-        for w in range(6):
-            if node == 0 and w == 2:  # plant a template match
-                window = template + (10 * rng.normal(size=120)).round()
-            else:
-                window = (rng.normal(size=120).cumsum() * 1000).round()
-            controller.store_window(0, w, window.astype(int))
-        controllers.append(controller)
-    engine = QueryEngine(
-        controllers, lsh, seizure_flags={0: {2, 3}, 1: {4}},
-        dtw_threshold=20_000.0,
+    # --- a two-implant fleet, via the facade ---------------------------------
+    telemetry = Telemetry()
+    system = build_system(
+        n_nodes=2, electrodes_per_node=4, telemetry=telemetry
     )
+    rng = np.random.default_rng(0)
+    template = rng.normal(size=120).cumsum() * 1000
+    for w in range(6):
+        windows = rng.normal(size=(2, 4, 120)).cumsum(axis=2) * 1000
+        if w == 2:  # plant a template match on node 0, electrode 0
+            windows[0, 0] = template + 10 * rng.normal(size=120)
+        system.ingest(windows)
 
-    q1 = engine.execute(QuerySpec("q1", 24.0), window_range=(0, 6))
+    flags = {0: {2, 3}, 1: {4}}
+    q1 = run_query(system, "q1", (0, 6), seizure_flags=flags)
     print(f"Q1 (seizure-flagged windows): "
-          f"{[(r.node, r.window_index) for r in q1]}")
-    q2 = engine.execute(QuerySpec("q2", 24.0), window_range=(0, 6),
-                        template=template)
+          f"{sorted({(r.node, r.window_index) for r in q1.rows})}")
+    q2 = run_query(system, "q2", (0, 6), template=template)
     print(f"Q2 (hash-matched template):   "
-          f"{[(r.node, r.window_index) for r in q2]}")
-    q3 = engine.execute(QuerySpec("q3", 24.0), window_range=(0, 6))
-    print(f"Q3 (everything): {len(q3)} windows")
+          f"{[(r.node, r.window_index) for r in q2.rows]}")
+    q3 = run_query(system, "q3", (0, 6))
+    print(f"Q3 (everything): {len(q3.rows)} windows")
+    hits = telemetry.registry.counter("query.cache_hit")
+    misses = telemetry.registry.counter("query.cache_miss")
+    print(f"signature cache on the Q2 scan: {hits:.0f} hits, "
+          f"{misses:.0f} misses (hashes were computed at ingest)")
 
     # --- the Fig. 10 cost model ------------------------------------------------
     model = QueryCostModel(n_nodes=11)

@@ -7,11 +7,11 @@ import numpy as np
 
 from repro import (
     Flow,
-    ScaloSystem,
     SchedulerProblem,
     compile_text,
     get_pe,
 )
+from repro.api import build_system, run_query
 from repro.scheduler import hash_similarity_task, seizure_detection_task
 
 
@@ -22,7 +22,7 @@ def main() -> None:
           f"{xcor.dyn_uw_per_electrode} uW/electrode, {xcor.area_kge} KGE")
 
     # --- 2. a four-implant distributed system -------------------------------
-    system = ScaloSystem(n_nodes=4, electrodes_per_node=8)
+    system = build_system(n_nodes=4, electrodes_per_node=8)
     thermal = system.thermal_check()
     print(f"thermal check: {system.n_nodes} implants, worst rise "
           f"{thermal.worst_rise_c:.2f} C (safe={thermal.safe})")
@@ -45,7 +45,12 @@ def main() -> None:
     print(f"node 0 broadcast {len(received)} hashes; node 1 found "
           f"{len(matches)} collisions against its recent store")
 
-    # --- 4. schedule an application with the ILP ----------------------------
+    # --- 4. query the fleet's storage ---------------------------------------
+    result = run_query(system, "q2", (0, 1), template=windows[0, 0])
+    print(f"Q2 template query: {len(result.rows)} matching window(s), "
+          f"coverage {result.coverage:.0%}")
+
+    # --- 5. schedule an application with the ILP ----------------------------
     schedule = SchedulerProblem(
         n_nodes=4,
         flows=[
@@ -62,7 +67,7 @@ def main() -> None:
     print(f"node power: {schedule.node_power_mw:.2f} mW of "
           f"{schedule.power_budget_mw} mW")
 
-    # --- 5. compile a Trill-style query to a PE pipeline ---------------------
+    # --- 6. compile a Trill-style query to a PE pipeline ---------------------
     compiled = compile_text(
         "var movements = stream.window(wsize=50ms).sbp().kf(params)"
         ".call_runtime()"

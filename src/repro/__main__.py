@@ -8,6 +8,7 @@ Usage::
     python -m repro fig15a --reps 500   # Monte-Carlo sweeps
     python -m repro trace seizure       # run a scenario under telemetry
     python -m repro recover             # crash + reboot + resync smoke run
+    python -m repro query --nodes 4     # Q1/Q2/Q3 over a live fleet
     python -m repro all                 # everything (slow)
 
 ``trace`` runs a canned scenario with a live telemetry handle, prints
@@ -216,6 +217,49 @@ def _recover(args) -> None:
         print(f"metrics CSV written to {path}")
 
 
+def _query(args) -> None:
+    import numpy as np
+
+    from repro.api import Telemetry, build_system, run_query
+
+    telemetry = Telemetry()
+    system = build_system(
+        n_nodes=args.nodes, electrodes_per_node=8, seed=args.seed,
+        telemetry=telemetry,
+    )
+    rng = np.random.default_rng(args.seed)
+    n_windows = 4
+    windows = None
+    for _ in range(n_windows):
+        windows = rng.normal(size=(args.nodes, 8, 120)).cumsum(axis=2)
+        system.ingest(windows)
+    template = windows[0][0]
+    flags = {node: {0, n_windows - 1} for node in range(args.nodes)}
+    reg = telemetry.registry
+    print(f"-- interactive queries over {args.nodes} implants, "
+          f"{n_windows} windows x 8 electrodes (seed {args.seed})\n")
+    for kind, kwargs in (
+        ("q1", {"seizure_flags": flags}),
+        ("q2", {"template": template}),
+        ("q3", {}),
+    ):
+        hits0 = reg.counter("query.cache_hit")
+        misses0 = reg.counter("query.cache_miss")
+        result = run_query(system, kind, (0, n_windows), **kwargs)
+        hits = reg.counter("query.cache_hit") - hits0
+        misses = reg.counter("query.cache_miss") - misses0
+        cache = (f", cache {hits:.0f} hit / {misses:.0f} miss"
+                 if kind == "q2" else "")
+        print(f"  {kind}: {len(result.rows):4d} rows, "
+              f"coverage {result.coverage:.0%}{cache}")
+    scanned = sum(
+        value
+        for name, _, value in reg.counters()
+        if name == "query.batch_windows"
+    )
+    print(f"\n  batched windows scanned: {scanned:.0f}")
+
+
 def _export(args) -> None:
     from repro.eval.export import export_all
 
@@ -274,6 +318,7 @@ _COMMANDS: dict[str, Callable] = {
     "export": _export,
     "trace": _trace,
     "recover": _recover,
+    "query": _query,
 }
 
 
@@ -307,7 +352,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.target == "all":
         for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export",
-                                             "trace", "recover"}):
+                                             "trace", "recover", "query"}):
             print(f"\n===== {name} =====")
             _COMMANDS[name](args)
         return 0

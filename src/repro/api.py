@@ -1,0 +1,116 @@
+"""The stable high-level facade: build a fleet, run queries, run scenarios.
+
+Examples, notebooks, and the README quick-start import from here instead
+of reaching five modules deep::
+
+    from repro.api import build_system, run_query
+
+    system = build_system(n_nodes=4, electrodes_per_node=8)
+    system.ingest(windows)
+    result = run_query(system, "q3", (0, 1))
+
+Everything re-exported here is covered by the deprecation policy: the
+deeper module paths may shuffle between releases, ``repro.api`` does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.queries import (
+    DistributedQueryResult,
+    QueryEngine,
+    QueryResultRow,
+    QuerySpec,
+)
+from repro.core.system import ScaloSystem
+from repro.telemetry import NULL_TELEMETRY, Telemetry, TelemetryLike
+from repro.telemetry.scenarios import SCENARIOS, run_scenario
+from repro.units import WINDOW_MS
+
+__all__ = [
+    "build_system",
+    "run_query",
+    "run_scenario",
+    "SCENARIOS",
+    "ScaloSystem",
+    "QuerySpec",
+    "QueryEngine",
+    "QueryResultRow",
+    "DistributedQueryResult",
+    "Telemetry",
+]
+
+
+def build_system(
+    n_nodes: int = 4,
+    electrodes_per_node: int = 8,
+    *,
+    measure: str = "dtw",
+    seed: int = 0,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
+    **overrides,
+) -> ScaloSystem:
+    """Assemble a :class:`~repro.core.system.ScaloSystem` fleet.
+
+    Args:
+        n_nodes: implant count.
+        electrodes_per_node: electrodes per implant.
+        measure: similarity measure the shared LSH approximates
+            (``dtw`` | ``euclidean`` | ``xcor`` | ``emd``).
+        seed: fleet-wide seed (network jitter, clock offsets).
+        telemetry: optional live :class:`~repro.telemetry.Telemetry`
+            handle; metrics and spans from every layer land on it.
+        **overrides: any further :class:`ScaloSystem` field (``tdma``,
+            ``arq``, ``power_cap_mw``, ...).
+    """
+    return ScaloSystem(
+        n_nodes=n_nodes,
+        electrodes_per_node=electrodes_per_node,
+        lsh_measure=measure,
+        seed=seed,
+        telemetry=telemetry,
+        **overrides,
+    )
+
+
+def run_query(
+    system: ScaloSystem,
+    kind: str,
+    window_range: tuple[int, int],
+    *,
+    template: np.ndarray | None = None,
+    use_hash: bool = True,
+    time_range_ms: float | None = None,
+    seizure_flags: dict[int, set[int]] | None = None,
+    distributed: bool = False,
+) -> DistributedQueryResult:
+    """Run one interactive query (Q1/Q2/Q3) over the fleet.
+
+    Args:
+        system: the fleet to query.
+        kind: ``"q1"`` (seizure-flagged windows), ``"q2"`` (windows
+            matching ``template``), or ``"q3"`` (everything in range).
+        window_range: half-open ``[start, stop)`` window-index range.
+        template: the probe window (required for Q2).
+        use_hash: Q2 only — hash filter (default) vs exact DTW.
+        time_range_ms: time span the query covers; derived from
+            ``window_range`` when omitted.
+        seizure_flags: per-node window indexes the local detector
+            flagged (what Q1 filters on).
+        distributed: disseminate the query over the radio network and
+            collect per-node responses instead of scanning storage
+            coordinator-side.
+
+    Returns:
+        A :class:`~repro.apps.queries.DistributedQueryResult` — matched
+        rows plus degraded/coverage accounting for dead nodes.
+    """
+    if time_range_ms is None:
+        start, stop = window_range
+        time_range_ms = max(stop - start, 1) * WINDOW_MS
+    spec = QuerySpec(kind=kind, time_range_ms=time_range_ms, use_hash=use_hash)
+    run = system.query_distributed if distributed else system.query
+    return run(
+        spec, window_range, template=template, seizure_flags=seizure_flags
+    )

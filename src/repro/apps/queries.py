@@ -18,6 +18,7 @@ hash checks ride the CCHECK PE.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,7 +27,7 @@ from repro.errors import ConfigurationError, ScaloError
 from repro.hardware.catalog import get_pe
 from repro.hashing.lsh import LSHFamily
 from repro.network.radio import EXTERNAL_RADIO, RadioSpec
-from repro.similarity.dtw import dtw_distance
+from repro.similarity.dtw import dtw_distance, dtw_distance_batch
 from repro.storage.controller import StorageController
 from repro.storage.nvm import NVMDevice
 from repro.telemetry import NULL_TELEMETRY, TelemetryLike, TraceContext
@@ -212,6 +213,14 @@ class QueryEngine:
     ``seizure_flags[node]`` marks windows flagged by the local detector
     (what Q1 filters on); Q2 matches stored windows against a template via
     the node's LSH (or exact DTW).
+
+    :meth:`run` is the single entry point.  By default each node is
+    scanned as one batched pass (vectorised hashing/DTW, served from the
+    storage controllers' hash-on-write signature cache where possible);
+    ``batched=False`` selects the reference window-at-a-time scan, and
+    ``use_cache=False`` forces rehashing.  All three paths return
+    element-identical rows (property-tested in
+    ``tests/test_query_batching.py``).
     """
 
     controllers: list[StorageController]
@@ -219,12 +228,16 @@ class QueryEngine:
     seizure_flags: dict[int, set[int]] = field(default_factory=dict)
     dtw_threshold: float = 60.0
     dtw_band: int = 10
+    #: scan each node as one vectorised pass (off = reference scalar scan)
+    batched: bool = True
+    #: serve Q2 hash signatures from the SC signature cache when present
+    use_cache: bool = True
     #: observability handle: per-node ``lookup`` spans, a ``merge`` span,
     #: and the ``query.*`` counters land here
     telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
 
     def _stored_windows(self, node: int) -> list[tuple[int, int]]:
-        return sorted(self.controllers[node]._windows)
+        return self.controllers[node].stored_windows()
 
     def _template_signature(
         self, spec: QuerySpec, template: np.ndarray | None
@@ -235,7 +248,9 @@ class QueryEngine:
             return self.lsh.hash_window(template)
         return None
 
-    def _node_rows(
+    # -- per-node scans --------------------------------------------------------------
+
+    def _node_rows_scalar(
         self,
         node: int,
         spec: QuerySpec,
@@ -243,7 +258,7 @@ class QueryEngine:
         template: np.ndarray | None,
         template_sig: tuple[int, ...] | None,
     ) -> list[QueryResultRow]:
-        """Scan one node's storage for matches."""
+        """Reference scan: one read + one hash/DTW per stored window."""
         start, stop = window_range
         controller = self.controllers[node]
         flags = self.seizure_flags.get(node, set())
@@ -268,34 +283,126 @@ class QueryEngine:
             rows.append(QueryResultRow(node, electrode, window_index, samples))
         return rows
 
-    def execute(
+    def _node_rows_batched(
         self,
+        node: int,
         spec: QuerySpec,
         window_range: tuple[int, int],
-        template: np.ndarray | None = None,
+        template: np.ndarray | None,
+        template_sig: tuple[int, ...] | None,
     ) -> list[QueryResultRow]:
-        """Run a query over window indexes ``[start, stop)`` on all nodes."""
-        template_sig = self._template_signature(spec, template)
-        rows: list[QueryResultRow] = []
-        for node in range(len(self.controllers)):
-            rows.extend(
-                self._node_rows(node, spec, window_range, template, template_sig)
-            )
-        return rows
+        """One batched pass over a node's in-range windows.
 
-    def execute_resilient(
+        Q2 hash scans consult the SC's signature cache first — a warm
+        cache answers the filter from SRAM metadata alone and reads only
+        the matched windows off the NVM; misses are read once and hashed
+        in a single vectorised pass (per window length, since stored
+        windows need not share a geometry).  Q2 DTW scans batch the DP
+        over all same-length windows.  Row order (sorted
+        ``(electrode, window)``) and row contents match the scalar scan
+        exactly.
+        """
+        start, stop = window_range
+        controller = self.controllers[node]
+        flags = self.seizure_flags.get(node, set())
+        tel = self.telemetry
+        pairs = [
+            pair
+            for pair in self._stored_windows(node)
+            if start <= pair[1] < stop
+            and (spec.kind != "q1" or pair[1] in flags)
+        ]
+        if tel.enabled:
+            tel.inc("query.batch_windows", len(pairs), kind=spec.kind)
+        if not pairs:
+            return []
+
+        if spec.kind == "q2" and spec.use_hash:
+            signatures: dict[tuple[int, int], tuple[int, ...]] = {}
+            misses: list[tuple[int, int]] = []
+            if self.use_cache:
+                for pair in pairs:
+                    sig = controller.window_signature(*pair)
+                    if sig is None:
+                        misses.append(pair)
+                    else:
+                        signatures[pair] = sig
+            else:
+                misses = list(pairs)
+            if tel.enabled:
+                tel.inc("query.cache_hit", len(pairs) - len(misses))
+                tel.inc("query.cache_miss", len(misses))
+            miss_samples = {
+                pair: controller.read_window(*pair) for pair in misses
+            }
+            for group in _group_by_length(misses, miss_samples):
+                batch = np.stack(
+                    [miss_samples[pair] for pair in group]
+                ).astype(float)
+                for pair, row in zip(group, self.lsh.hash_windows(batch)):
+                    signatures[pair] = tuple(int(c) for c in row)
+            matched = self.lsh.matches_many(
+                np.array([signatures[pair] for pair in pairs]), template_sig
+            )
+            return [
+                QueryResultRow(
+                    node,
+                    pair[0],
+                    pair[1],
+                    miss_samples[pair]
+                    if pair in miss_samples
+                    else controller.read_window(*pair),
+                )
+                for pair, hit in zip(pairs, matched)
+                if hit
+            ]
+
+        samples = {pair: controller.read_window(*pair) for pair in pairs}
+        if spec.kind == "q2":
+            reference = np.asarray(template, dtype=float)
+            costs: dict[tuple[int, int], float] = {}
+            for group in _group_by_length(pairs, samples):
+                batch = np.stack([samples[pair] for pair in group]).astype(
+                    float
+                )
+                distances = dtw_distance_batch(batch, reference, self.dtw_band)
+                for pair, cost in zip(group, distances):
+                    costs[pair] = float(cost)
+            pairs = [pair for pair in pairs if costs[pair] <= self.dtw_threshold]
+        return [
+            QueryResultRow(node, pair[0], pair[1], samples[pair])
+            for pair in pairs
+        ]
+
+    def _node_rows(
+        self,
+        node: int,
+        spec: QuerySpec,
+        window_range: tuple[int, int],
+        template: np.ndarray | None,
+        template_sig: tuple[int, ...] | None,
+    ) -> list[QueryResultRow]:
+        scan = self._node_rows_batched if self.batched else self._node_rows_scalar
+        return scan(node, spec, window_range, template, template_sig)
+
+    # -- the query entry point -------------------------------------------------------
+
+    def run(
         self,
         spec: QuerySpec,
         window_range: tuple[int, int],
+        *,
         template: np.ndarray | None = None,
         dead_nodes: set[int] | None = None,
         node_traces: dict[int, TraceContext | None] | None = None,
     ) -> DistributedQueryResult:
-        """Run a query over the surviving nodes; never raise per node.
+        """Run a query over window indexes ``[start, stop)`` on all nodes.
 
-        Nodes listed in ``dead_nodes`` are skipped outright; a node whose
-        scan errors mid-flight (rotted metadata, storage faults) is added
-        to ``failed_nodes`` and the query proceeds — partial answers beat
+        The single query entry point (the former ``execute`` /
+        ``execute_resilient`` split collapsed): nodes listed in
+        ``dead_nodes`` are skipped outright; a node whose scan errors
+        mid-flight (rotted metadata, storage faults) is added to
+        ``failed_nodes`` and the query proceeds — partial answers beat
         lost sessions for interactive use.  Query-spec errors (bad kind,
         missing template) still raise: they are caller bugs, not faults.
 
@@ -338,3 +445,58 @@ class QueryEngine:
                 tel.inc("query.degraded")
             tel.set_gauge("query.coverage", result.coverage, kind=spec.kind)
         return result
+
+    # -- deprecated pre-`run` entry points ---------------------------------------------
+
+    def execute(
+        self,
+        spec: QuerySpec,
+        window_range: tuple[int, int],
+        template: np.ndarray | None = None,
+    ) -> list[QueryResultRow]:
+        """Deprecated: use :meth:`run` (this returns ``run(...).rows``)."""
+        warnings.warn(
+            "QueryEngine.execute is deprecated; use QueryEngine.run",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(spec, window_range, template=template).rows
+
+    def execute_resilient(
+        self,
+        spec: QuerySpec,
+        window_range: tuple[int, int],
+        template: np.ndarray | None = None,
+        dead_nodes: set[int] | None = None,
+        node_traces: dict[int, TraceContext | None] | None = None,
+    ) -> DistributedQueryResult:
+        """Deprecated: use :meth:`run` (same semantics, keyword-only)."""
+        warnings.warn(
+            "QueryEngine.execute_resilient is deprecated; use QueryEngine.run",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(
+            spec,
+            window_range,
+            template=template,
+            dead_nodes=dead_nodes,
+            node_traces=node_traces,
+        )
+
+
+def _group_by_length(
+    pairs: list[tuple[int, int]],
+    samples: dict[tuple[int, int], np.ndarray],
+) -> list[list[tuple[int, int]]]:
+    """Partition pairs into runs of equal window length (batch geometry).
+
+    Stored windows need not share a length; vectorised kernels require
+    one.  Grouping preserves the incoming (sorted) order within a group,
+    and results are keyed per pair, so output order never depends on the
+    grouping.
+    """
+    groups: dict[int, list[tuple[int, int]]] = {}
+    for pair in pairs:
+        groups.setdefault(samples[pair].shape[0], []).append(pair)
+    return list(groups.values())

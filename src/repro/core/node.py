@@ -48,7 +48,8 @@ class ScaloNode:
         self.fabric = Fabric()
         self.mc = Microcontroller()
         self.storage = StorageController(
-            device=NVMDevice(capacity_bytes=self.nvm_capacity_bytes)
+            device=NVMDevice(capacity_bytes=self.nvm_capacity_bytes),
+            lsh=self.lsh,
         )
         self.hash_store = RecentHashStore(self.hash_horizon_ms)
         self.checker = CollisionChecker(self.lsh.config.min_matching)
@@ -88,10 +89,9 @@ class ScaloNode:
         self._window_index += 1
         time_ms = self.now_ms
 
-        signatures = [
-            self.lsh.hash_window(np.asarray(row, dtype=float))
-            for row in windows
-        ]
+        signatures = self.lsh.hash_channels(
+            np.asarray(windows, dtype=float)
+        )
         if store_signals:
             self.storage.store_channel_windows(index, windows)
         self.storage.store_hash_batch(index, time_ms, signatures)

@@ -372,8 +372,8 @@ class ScaloSystem:
         engine = self._query_engine(seizure_flags)
         with tel.span("query", kind=spec.kind):
             tel.advance_ms(QUERY_OVERHEAD_MS)  # MC parse + dispatch
-            return engine.execute_resilient(
-                spec, window_range, template, dead_nodes=self._dead
+            return engine.run(
+                spec, window_range, template=template, dead_nodes=self._dead
             )
 
     def query_distributed(
@@ -458,10 +458,10 @@ class ScaloSystem:
                 else:
                     unreachable.add(node)
                     tel.inc("system.query_unreachable_nodes")
-            return engine.execute_resilient(
+            return engine.run(
                 spec,
                 window_range,
-                template,
+                template=template,
                 dead_nodes=self._dead | unreachable,
                 node_traces=node_traces,
             )

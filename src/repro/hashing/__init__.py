@@ -11,10 +11,17 @@ from repro.hashing.lsh import (
 from repro.hashing.minhash import (
     finalize_hash,
     minhash_signature,
+    minhash_signature_batch,
+    minhash_tables,
     weighted_minhash_sample,
 )
-from repro.hashing.ngram import ngram_counts, profile_similarity
-from repro.hashing.sketch import random_projection_vector, sign_sketch, sketch_length
+from repro.hashing.ngram import ngram_counts, ngram_value_matrix, profile_similarity
+from repro.hashing.sketch import (
+    random_projection_vector,
+    sign_sketch,
+    sign_sketch_batch,
+    sketch_length,
+)
 
 __all__ = [
     "CollisionChecker",
@@ -27,10 +34,14 @@ __all__ = [
     "SUPPORTED_MEASURES",
     "finalize_hash",
     "minhash_signature",
+    "minhash_signature_batch",
+    "minhash_tables",
     "weighted_minhash_sample",
     "ngram_counts",
+    "ngram_value_matrix",
     "profile_similarity",
     "random_projection_vector",
     "sign_sketch",
+    "sign_sketch_batch",
     "sketch_length",
 ]

@@ -79,6 +79,48 @@ class EMDHash:
             components.append(int(np.floor((value + offset) / self.bucket_width)))
         return tuple(components)
 
+    def hash_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Batched :meth:`hash_window` over ``(n_windows, samples)`` rows.
+
+        Normalisation, projection, square root and quantisation run as
+        whole-batch array passes; the histogram step reuses the scalar
+        :func:`~repro.similarity.emd.signal_to_histogram` per row so the
+        bin-edge arithmetic is identical by construction.  Row ``i``
+        equals ``hash_window(windows[i])``.
+        """
+        batch = np.asarray(windows, dtype=float)
+        if batch.ndim != 2:
+            raise ConfigurationError("expected (n_windows, samples)")
+        if self.normalise:
+            # scalar hash_window leaves std == 0 rows untouched (not even
+            # mean-centred) — mirror that exactly
+            mean = batch.mean(axis=1)
+            std = batch.std(axis=1)
+            scaled = std > 0
+            batch = batch.copy()
+            batch[scaled] = (
+                batch[scaled] - mean[scaled, None]
+            ) / std[scaled, None]
+        histograms = np.stack(
+            [
+                signal_to_histogram(row, self.n_bins, self.value_range)
+                for row in batch
+            ]
+        )
+        totals = histograms.sum(axis=1)
+        positive = totals > 0
+        histograms[positive] = histograms[positive] / totals[positive, None]
+        out = np.empty((batch.shape[0], self.n_components), dtype=np.int64)
+        for c, (projection, offset) in enumerate(
+            zip(self._projections, self._offsets)
+        ):
+            dots = histograms @ projection
+            values = np.sqrt(np.maximum(dots, 0.0))
+            out[:, c] = np.floor(
+                (values + offset) / self.bucket_width
+            ).astype(np.int64)
+        return out
+
     def collision(self, sig_a: tuple[int, ...], sig_b: tuple[int, ...]) -> bool:
         """OR-construction match: any component equal."""
         if len(sig_a) != len(sig_b):

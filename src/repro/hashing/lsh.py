@@ -21,9 +21,17 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hashing.emd_hash import EMDHash
-from repro.hashing.minhash import minhash_signature
-from repro.hashing.ngram import ngram_counts
-from repro.hashing.sketch import random_projection_vector, sign_sketch
+from repro.hashing.minhash import (
+    minhash_signature,
+    minhash_signature_batch,
+    minhash_tables,
+)
+from repro.hashing.ngram import ngram_counts, ngram_value_matrix
+from repro.hashing.sketch import (
+    random_projection_vector,
+    sign_sketch,
+    sign_sketch_batch,
+)
 
 #: Measures the family supports.
 SUPPORTED_MEASURES = ("dtw", "euclidean", "xcor", "emd")
@@ -113,6 +121,8 @@ class LSHFamily:
                 config.sketch_window, config.seed
             )
         self._seeds = [config.seed * 1000 + i for i in range(config.n_components)]
+        #: lazy per-family minhash lookup tables (see ``hash_windows``)
+        self._minhash_tables: tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def for_measure(cls, measure: str, **overrides) -> "LSHFamily":
@@ -157,12 +167,60 @@ class LSHFamily:
             return tuple(0 for _ in self._seeds)
         return minhash_signature(counts, self._seeds, self.config.bits)
 
+    def hash_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Batch-hash ``(n_windows, window_len)`` rows in single passes.
+
+        The hot-path form of :meth:`hash_window`: the sketch is one
+        strided matmul over the whole batch, n-gram counting is one
+        ``bincount``, and the min-hash sampler runs off precomputed
+        per-seed lookup tables instead of per-shingle digests.  Row ``i``
+        of the result is element-identical to ``hash_window(windows[i])``
+        (property-tested in ``tests/test_query_batching.py``).
+
+        Returns:
+            ``(n_windows, n_components)`` int64 array of components.
+        """
+        batch = np.asarray(windows, dtype=float)
+        if batch.ndim != 2:
+            raise ConfigurationError("hash_windows expects (n_windows, samples)")
+        if self._emd is not None:
+            return self._emd.hash_windows(batch)
+        bits = sign_sketch_batch(
+            batch,
+            self._projection,
+            stride=self.config.stride,
+            normalise=self.config.normalise,
+        )
+        if bits.shape[1] < self.config.ngram:
+            # degenerate geometry: every row's n-gram profile is empty
+            return np.zeros((batch.shape[0], len(self._seeds)), dtype=np.int64)
+        if (1 << self.config.ngram) > 4096:
+            # shingle alphabet too large to tabulate — scalar fallback
+            # (no preset is near this; the sweep tool explores big n-grams)
+            return np.array(
+                [self.hash_window(row) for row in batch], dtype=np.int64
+            )
+        values = ngram_value_matrix(bits, self.config.ngram)
+        if self._minhash_tables is None:
+            self._minhash_tables = minhash_tables(
+                self._seeds, self.config.bits, 1 << self.config.ngram
+            )
+        return minhash_signature_batch(
+            values,
+            self._seeds,
+            self.config.bits,
+            1 << self.config.ngram,
+            tables=self._minhash_tables,
+        )
+
     def hash_channels(self, windows: np.ndarray) -> list[tuple[int, ...]]:
         """Hash each row of a ``(n_channels, n_samples)`` array."""
         windows = np.asarray(windows, dtype=float)
         if windows.ndim != 2:
             raise ConfigurationError("expected (channels, samples)")
-        return [self.hash_window(row) for row in windows]
+        return [
+            tuple(int(c) for c in row) for row in self.hash_windows(windows)
+        ]
 
     # -- matching ----------------------------------------------------------------
 
@@ -171,6 +229,26 @@ class LSHFamily:
         if len(sig_a) != len(sig_b):
             raise ConfigurationError("signature lengths differ")
         agreeing = sum(1 for a, b in zip(sig_a, sig_b) if a == b)
+        return agreeing >= self.config.min_matching
+
+    def matches_many(
+        self, signatures: np.ndarray, signature: tuple[int, ...]
+    ) -> np.ndarray:
+        """Vectorised :meth:`matches` of many signatures against one.
+
+        Args:
+            signatures: ``(n, n_components)`` component array (e.g. the
+                output of :meth:`hash_windows`).
+            signature: the probe signature.
+
+        Returns:
+            Boolean array of shape ``(n,)``.
+        """
+        sigs = np.asarray(signatures)
+        probe = np.asarray(signature)
+        if sigs.ndim != 2 or sigs.shape[1] != probe.shape[0]:
+            raise ConfigurationError("signature lengths differ")
+        agreeing = (sigs == probe[None, :]).sum(axis=1)
         return agreeing >= self.config.min_matching
 
     # -- wire format ---------------------------------------------------------------

@@ -15,6 +15,8 @@ from __future__ import annotations
 import hashlib
 import struct
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -75,3 +77,77 @@ def minhash_signature(
         finalize_hash(weighted_minhash_sample(counts, seed), seed, bits)
         for seed in seeds
     )
+
+
+def minhash_tables(
+    seeds: list[int], bits: int, n_values: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute the per-seed score and finalisation lookup tables.
+
+    The scalar sampler calls :func:`_uniform01` / :func:`finalize_hash`
+    per n-gram per seed — thousands of blake2b digests per window.  With
+    a bounded shingle alphabet (``n_values == 2**ngram``) both functions
+    depend only on ``(value, seed)``, so they tabulate once per hash
+    family: ``U[s, v]`` is the pseudo-uniform draw and ``F[s, v]`` the
+    finalised ``bits``-wide component for value ``v`` under seed
+    ``seeds[s]``.  Entries are produced by the *same* scalar functions,
+    so batched signatures are value-identical by construction.
+    """
+    if n_values < 1:
+        raise ConfigurationError("need a positive shingle alphabet size")
+    uniforms = np.empty((len(seeds), n_values), dtype=np.float64)
+    finals = np.empty((len(seeds), n_values), dtype=np.int64)
+    for s, seed in enumerate(seeds):
+        for value in range(n_values):
+            uniforms[s, value] = _uniform01(value, seed)
+            finals[s, value] = finalize_hash(value, seed, bits)
+    return uniforms, finals
+
+
+def minhash_signature_batch(
+    values: np.ndarray,
+    seeds: list[int],
+    bits: int,
+    n_values: int,
+    tables: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Batched :func:`minhash_signature` over per-row shingle values.
+
+    Args:
+        values: ``(n_windows, n_shingles)`` packed shingle values in
+            ``[0, n_values)`` (see
+            :func:`~repro.hashing.ngram.ngram_value_matrix`).
+        tables: optional precomputed :func:`minhash_tables` output.
+
+    Returns:
+        ``(n_windows, len(seeds))`` int64 signature components; row ``i``
+        equals ``minhash_signature(ngram_counts(row_i), seeds, bits)``.
+
+    The selection rule matches the scalar sampler exactly: scores are
+    ``u ** (1 / w)`` and ties break toward the smallest shingle value
+    (the scalar loop walks keys in ascending order and only replaces on
+    a strictly greater score; ``argmax`` returns the first maximum over
+    the ascending value axis).
+    """
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ConfigurationError("expected (n_windows, n_shingles) values")
+    n_rows, n_shingles = values.shape
+    if n_shingles == 0:
+        raise ConfigurationError("cannot min-hash an empty n-gram profile")
+    uniforms, finals = tables if tables is not None else minhash_tables(
+        seeds, bits, n_values
+    )
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), n_shingles)
+    counts = np.bincount(
+        rows * n_values + values.ravel().astype(np.int64),
+        minlength=n_rows * n_values,
+    ).reshape(n_rows, n_values).astype(np.float64)
+    present = counts > 0
+    inv_weight = np.zeros_like(counts)
+    inv_weight[present] = 1.0 / counts[present]
+    out = np.empty((n_rows, len(seeds)), dtype=np.int64)
+    for s in range(len(seeds)):
+        scores = np.where(present, uniforms[s][None, :] ** inv_weight, -1.0)
+        out[:, s] = finals[s][np.argmax(scores, axis=1)]
+    return out

@@ -37,6 +37,32 @@ def ngram_counts(bits: np.ndarray, n: int) -> dict[int, int]:
     return {int(v): int(c) for v, c in zip(uniques, counts)}
 
 
+def ngram_value_matrix(bits: np.ndarray, n: int) -> np.ndarray:
+    """Packed shingle values for a whole batch of sketches at once.
+
+    ``bits`` is ``(n_windows, sketch_bits)``; the result is
+    ``(n_windows, sketch_bits - n + 1)`` of integer shingle values — the
+    multiset each row spans is exactly the key set of
+    :func:`ngram_counts` on that row (occurrence counts fall out of a
+    single ``bincount`` downstream, see
+    :func:`repro.hashing.minhash.minhash_signature_batch`).
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ConfigurationError("expected a (n_windows, bits) array")
+    if n < 1:
+        raise ConfigurationError("n-gram size must be >= 1")
+    if np.any((bits != 0) & (bits != 1)):
+        raise ConfigurationError("sketch must contain only 0/1 bits")
+    if bits.shape[1] < n:
+        return np.empty((bits.shape[0], 0), dtype=np.int64)
+    weights = 1 << np.arange(n - 1, -1, -1)
+    shingles = np.lib.stride_tricks.sliding_window_view(
+        bits.astype(np.int64), n, axis=1
+    )
+    return shingles @ weights
+
+
 def profile_similarity(counts_a: dict[int, int], counts_b: dict[int, int]) -> float:
     """Weighted Jaccard similarity of two n-gram profiles.
 

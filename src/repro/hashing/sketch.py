@@ -76,6 +76,52 @@ def sign_sketch(
     return (dots > 0).astype(np.uint8)
 
 
+def sign_sketch_batch(
+    windows: np.ndarray,
+    projection: np.ndarray,
+    stride: int = 1,
+    normalise: bool = False,
+    difference: bool = True,
+) -> np.ndarray:
+    """Batched :func:`sign_sketch` over ``(n_windows, window_len)`` rows.
+
+    One strided view + one matmul covers the whole batch; row ``i`` of
+    the result is element-identical to ``sign_sketch(windows[i], ...)``.
+    The dot products are evaluated as a single ``(n * positions, w)``
+    by ``(w,)`` product — the same contiguous-rows-times-vector kernel
+    the scalar path uses — so the floating-point summation order per
+    sliding position is unchanged.
+
+    Returns:
+        uint8 array of shape ``(n_windows, sketch_bits)``.
+    """
+    x = np.asarray(windows, dtype=float)
+    r = np.asarray(projection, dtype=float)
+    if x.ndim != 2 or r.ndim != 1:
+        raise ConfigurationError("expected (n_windows, samples) and a 1-D "
+                                 "projection")
+    if r.shape[0] > x.shape[1]:
+        raise ConfigurationError(
+            f"projection ({r.shape[0]}) longer than window ({x.shape[1]})"
+        )
+    if stride < 1:
+        raise ConfigurationError("stride must be >= 1")
+    if normalise:
+        mean = x.mean(axis=1)
+        std = x.std(axis=1)
+        x = x - mean[:, None]
+        scaled = std > 0
+        x[scaled] = x[scaled] / std[scaled, None]
+    positions = np.lib.stride_tricks.sliding_window_view(
+        x, r.shape[0], axis=1
+    )[:, ::stride, :]
+    n, p, w = positions.shape
+    dots = (positions.reshape(n * p, w) @ r).reshape(n, p)
+    if difference:
+        return (np.diff(dots, axis=1) > 0).astype(np.uint8)
+    return (dots > 0).astype(np.uint8)
+
+
 def sketch_length(window_len: int, w: int, stride: int = 1,
                   difference: bool = True) -> int:
     """Number of sketch bits produced for the given geometry."""

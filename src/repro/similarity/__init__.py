@@ -1,6 +1,11 @@
 """Exact signal-similarity measures: DTW, Euclidean, XCOR, EMD."""
 
-from repro.similarity.dtw import dtw_cell_count, dtw_distance, dtw_distance_matrix
+from repro.similarity.dtw import (
+    dtw_cell_count,
+    dtw_distance,
+    dtw_distance_batch,
+    dtw_distance_matrix,
+)
 from repro.similarity.emd import emd_1d, emd_signal, signal_to_histogram
 from repro.similarity.measures import (
     MEASURES,
@@ -17,6 +22,7 @@ from repro.similarity.xcor import (
 __all__ = [
     "dtw_cell_count",
     "dtw_distance",
+    "dtw_distance_batch",
     "dtw_distance_matrix",
     "emd_1d",
     "emd_signal",

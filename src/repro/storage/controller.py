@@ -16,10 +16,14 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import ConfigurationError, StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hashing.lsh import LSHFamily
 from repro.recovery.journal import RecordType, WriteAheadJournal
 from repro.storage.layout import (
     CHUNKED_READ_MS_PER_WINDOW,
@@ -39,11 +43,13 @@ SC_LATENCY_BUSY_MS = 0.04
 #: Auto-compaction threshold: checkpoint after this many journal records.
 CHECKPOINT_EVERY_RECORDS = 512
 
-#: Journal record payload codecs (all little-endian).
+#: Journal record payload codecs (all little-endian).  WINDOW records carry
+#: an optional signature tail: ``<H`` component count (0 = no signature)
+#: followed by that many ``<i`` hash components (the hash-on-write cache).
 _WINDOW_REC = struct.Struct("<HIQIQ")  # electrode, window, addr, len, head
 _HASH_REC = struct.Struct("<IQIdHHQ")  # window, addr, len, time, nsig, ncomp, head
 _APPDATA_REC = struct.Struct("<QIQ")  # addr, len, head (key prefixed)
-_CKPT_MAGIC = b"SCK1"
+_CKPT_MAGIC = b"SCK2"
 
 
 @dataclass
@@ -72,6 +78,12 @@ class StorageController:
     #: injectable observability handle (``storage.*`` metrics); the SC's
     #: simulated busy time advances the telemetry clock on each access
     telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
+    #: optional hash family for the hash-on-write signature cache: when
+    #: set, every stored window's LSH signature (of the *quantised* int16
+    #: samples, i.e. exactly what ``read_window`` returns) is computed at
+    #: ingest and journaled alongside the window record, so Q2 hash
+    #: queries never re-read and re-hash raw samples
+    lsh: "LSHFamily | None" = field(default=None, repr=False)
 
     def _meter(self, op: str, busy0: float, reads0: int, writes0: int) -> None:
         """Book one storage operation's deltas into the registry."""
@@ -92,6 +104,7 @@ class StorageController:
         self._buffer: bytearray = bytearray()
         self._buffer_partition: str | None = None
         self._windows: dict[tuple[int, int], _StoredObject] = {}
+        self._signatures: dict[tuple[int, int], tuple[int, ...]] = {}
         self._hashes: dict[int, _StoredObject] = {}
         self._hash_times: list[float] = []
         self._hash_meta: dict[int, tuple[float, int, int]] = {}
@@ -149,15 +162,37 @@ class StorageController:
     # -- signal windows -------------------------------------------------------------
 
     def store_window(
-        self, electrode: int, window_index: int, samples: np.ndarray
+        self,
+        electrode: int,
+        window_index: int,
+        samples: np.ndarray,
+        signature: tuple[int, ...] | None = None,
     ) -> None:
-        """Persist one electrode-window (int16 samples) in chunked layout."""
+        """Persist one electrode-window (int16 samples) in chunked layout.
+
+        Args:
+            signature: precomputed LSH signature of the quantised samples
+                (batch ingest paths hash whole arrays at once); when
+                ``None`` and an :attr:`lsh` is configured, the signature
+                is computed here.  Either way it is journaled with the
+                window record so crash recovery restores the cache
+                without rehashing.
+        """
         samples = np.asarray(samples)
         if samples.ndim != 1:
             raise StorageError("expected a 1-D sample window")
-        data = samples.astype("<i2").tobytes()
+        quantised = samples.astype("<i2")
+        data = quantised.tobytes()
         if len(data) > SC_BUFFER_BYTES:
             raise StorageError("window larger than the SC write buffer")
+        if signature is None and self.lsh is not None:
+            # hash what read_window will return (the int16 round-trip),
+            # not the raw float samples — the query path compares stored
+            # data, and the two differ by quantisation
+            try:
+                signature = self.lsh.hash_window(quantised.astype(float))
+            except ConfigurationError:
+                signature = None  # window shorter than the hash geometry
         metered = self.telemetry.enabled
         if metered:
             busy0, reads0, writes0 = (
@@ -166,14 +201,26 @@ class StorageController:
                 self.device.stats.page_writes,
             )
         address = self._append_bytes("signals", data)
+        sig_tail = (
+            struct.pack("<H", 0)
+            if signature is None
+            else struct.pack(f"<H{len(signature)}i", len(signature), *signature)
+        )
         self.journal.append(
             RecordType.WINDOW,
             _WINDOW_REC.pack(
                 electrode, window_index, address, len(data),
                 self.table["signals"].write_head,
-            ),
+            )
+            + sig_tail,
         )
         self._windows[(electrode, window_index)] = _StoredObject(address, len(data))
+        if signature is not None:
+            self._signatures[(electrode, window_index)] = tuple(
+                int(c) for c in signature
+            )
+        else:
+            self._signatures.pop((electrode, window_index), None)
         self.busy_ms += SC_LATENCY_FREE_MS + CHUNKED_WRITE_MS_PER_WINDOW
         if metered:
             self._meter("windows_stored", busy0, reads0, writes0)
@@ -186,8 +233,22 @@ class StorageController:
         windows = np.asarray(windows)
         if windows.ndim != 2:
             raise StorageError("expected (channels, samples)")
+        signatures: list[tuple[int, ...] | None]
+        if self.lsh is not None and windows.shape[0] > 0:
+            quantised = windows.astype("<i2")
+            try:
+                signatures = [
+                    tuple(int(c) for c in row)
+                    for row in self.lsh.hash_windows(quantised.astype(float))
+                ]
+            except ConfigurationError:
+                signatures = [None] * windows.shape[0]
+        else:
+            signatures = [None] * windows.shape[0]
         for electrode, row in enumerate(windows):
-            self.store_window(electrode, window_index, row)
+            self.store_window(
+                electrode, window_index, row, signature=signatures[electrode]
+            )
 
     def read_window(self, electrode: int, window_index: int) -> np.ndarray:
         """Retrieve a stored electrode-window."""
@@ -212,6 +273,32 @@ class StorageController:
 
     def has_window(self, electrode: int, window_index: int) -> bool:
         return (electrode, window_index) in self._windows
+
+    def stored_windows(self) -> list[tuple[int, int]]:
+        """All stored ``(electrode, window_index)`` pairs, sorted.
+
+        The public form of what query engines previously read off the
+        private ``_windows`` dict.
+        """
+        return sorted(self._windows)
+
+    # -- signature cache ----------------------------------------------------------
+
+    def window_signature(
+        self, electrode: int, window_index: int
+    ) -> tuple[int, ...] | None:
+        """Cached LSH signature of a stored window, or ``None`` on miss.
+
+        Hits cost one SC register access (no NVM read, no rehash); the
+        cache is journaled at write time, invalidated by
+        :meth:`lose_sram`, and restored by :meth:`recover` minus any
+        entries whose backing pages are poisoned.
+        """
+        return self._signatures.get((electrode, window_index))
+
+    def invalidate_signatures(self) -> None:
+        """Drop every cached signature (queries fall back to rehashing)."""
+        self._signatures = {}
 
     # -- hashes ----------------------------------------------------------------------
 
@@ -342,6 +429,11 @@ class StorageController:
             encoded = key.encode("utf-8")
             out += struct.pack("<H", len(encoded)) + encoded
             out += struct.pack("<QI", obj.address, obj.length)
+        out += struct.pack("<I", len(self._signatures))
+        for (electrode, window), sig in self._signatures.items():
+            out += struct.pack(
+                f"<HIH{len(sig)}i", electrode, window, len(sig), *sig
+            )
         out += struct.pack(
             "<q",
             -1 if self.last_written_page is None else self.last_written_page,
@@ -389,6 +481,14 @@ class StorageController:
             addr, length = struct.unpack_from("<QI", payload, offset)
             offset += 12
             self._templates[key] = _StoredObject(addr, length)
+        (n,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        for _ in range(n):
+            electrode, window, n_comp = struct.unpack_from("<HIH", payload, offset)
+            offset += 8
+            components = struct.unpack_from(f"<{n_comp}i", payload, offset)
+            offset += 4 * n_comp
+            self._signatures[(electrode, window)] = tuple(components)
         (last_page,) = struct.unpack_from("<q", payload, offset)
         offset += 8
         self.last_written_page = None if last_page < 0 else last_page
@@ -399,8 +499,20 @@ class StorageController:
 
     def _apply_record(self, rtype: RecordType, payload: bytes) -> None:
         if rtype is RecordType.WINDOW:
-            electrode, window, addr, length, head = _WINDOW_REC.unpack(payload)
+            electrode, window, addr, length, head = _WINDOW_REC.unpack_from(
+                payload
+            )
             self._windows[(electrode, window)] = _StoredObject(addr, length)
+            # replay the journaled signature tail verbatim (never rehash:
+            # the recovering controller may not even hold an LSH family)
+            (n_comp,) = struct.unpack_from("<H", payload, _WINDOW_REC.size)
+            if n_comp:
+                components = struct.unpack_from(
+                    f"<{n_comp}i", payload, _WINDOW_REC.size + 2
+                )
+                self._signatures[(electrode, window)] = tuple(components)
+            else:
+                self._signatures.pop((electrode, window), None)
             self.table["signals"].write_head = head
         elif rtype is RecordType.HASH_BATCH:
             window, addr, length, time_ms, n_sig, n_comp, head = (
@@ -447,6 +559,7 @@ class StorageController:
         self._buffer = bytearray()
         self._buffer_partition = None
         self._windows = {}
+        self._signatures = {}
         self._hashes = {}
         self._hash_times = []
         self._hash_meta = {}
@@ -468,11 +581,32 @@ class StorageController:
         if replayed.torn:
             self.journal.discard_torn_tail()
         self._records_at_checkpoint = self.journal.records_appended
+        self._drop_poisoned_signatures()
         return StorageRecovery(
             checkpoint_used=replayed.checkpoint is not None,
             records_replayed=len(replayed.records),
             torn_tail=replayed.torn,
         )
+
+    def _drop_poisoned_signatures(self) -> None:
+        """Invalidate cache entries whose backing pages are unreadable.
+
+        A warm cache must never claim a window the scalar path could not
+        read: with the signature alone a query would skip the NVM read
+        and return rows for data that is actually gone.
+        """
+        poisoned = set(self.device.poisoned_pages)
+        if not poisoned:
+            return
+        for key in list(self._signatures):
+            obj = self._windows.get(key)
+            if obj is None:
+                del self._signatures[key]
+                continue
+            first = obj.address // PAGE_BYTES
+            last = (obj.address + obj.length - 1) // PAGE_BYTES
+            if any(page in poisoned for page in range(first, last + 1)):
+                del self._signatures[key]
 
     def state_digest(self) -> str:
         """SHA-256 over the canonical metadata bytes (crash-test oracle)."""

@@ -1,6 +1,5 @@
 """Tests for interactive queries: cost model and functional engine."""
 
-import numpy as np
 import pytest
 
 from repro.apps.queries import (
@@ -99,31 +98,31 @@ class TestQueryEngine:
 
     def test_q3_returns_everything_in_range(self, engine):
         eng, _ = engine
-        rows = eng.execute(QuerySpec("q3", 16.0), window_range=(0, 4))
+        rows = eng.run(QuerySpec("q3", 16.0), window_range=(0, 4)).rows
         assert len(rows) == 8
 
     def test_q1_filters_by_flags(self, engine):
         eng, _ = engine
-        rows = eng.execute(QuerySpec("q1", 16.0), window_range=(0, 4))
+        rows = eng.run(QuerySpec("q1", 16.0), window_range=(0, 4)).rows
         assert {(r.node, r.window_index) for r in rows} == {(0, 1), (0, 2)}
 
     def test_q2_hash_finds_template(self, engine):
         eng, template = engine
-        rows = eng.execute(
+        rows = eng.run(
             QuerySpec("q2", 16.0), window_range=(0, 4), template=template
-        )
+        ).rows
         assert any(r.node == 0 and r.window_index == 1 for r in rows)
 
     def test_q2_needs_template(self, engine):
         eng, _ = engine
         with pytest.raises(ConfigurationError):
-            eng.execute(QuerySpec("q2", 16.0), window_range=(0, 4))
+            eng.run(QuerySpec("q2", 16.0), window_range=(0, 4))
 
     def test_q2_exact_dtw_mode(self, engine):
         eng, template = engine
-        rows = eng.execute(
+        rows = eng.run(
             QuerySpec("q2", 16.0, use_hash=False),
             window_range=(0, 4),
             template=template,
-        )
+        ).rows
         assert any(r.node == 0 and r.window_index == 1 for r in rows)

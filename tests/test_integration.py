@@ -119,8 +119,8 @@ class TestClosedLoop:
             seizure_flags={n: set(w) for n, w in detections.items()},
         )
         n_windows = recording.n_samples // 120
-        rows = engine.execute(QuerySpec("q1", 100.0),
-                              window_range=(0, n_windows))
+        rows = engine.run(QuerySpec("q1", 100.0),
+                          window_range=(0, n_windows)).rows
         assert rows  # flagged windows come back
         flagged = {(r.node, r.window_index) for r in rows}
         for node, windows in detections.items():

@@ -1,0 +1,359 @@
+"""Batched query hot path: kernel equivalence, signature cache, shims.
+
+The batched kernels (`hash_windows`, `dtw_distance_batch`) and the cached
+query path promise *element-identical* results to the scalar reference
+implementations — these tests hold them to it, property-based where the
+input space is wide.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.queries import QueryEngine, QuerySpec
+from repro.errors import ConfigurationError
+from repro.hashing.lsh import SUPPORTED_MEASURES, LSHFamily
+from repro.similarity.dtw import dtw_distance, dtw_distance_batch
+from repro.storage.controller import StorageController
+from repro.storage.nvm import PAGE_BYTES, NVMDevice
+
+CAPACITY = 16 * 1024 * 1024
+
+
+def _windows(seed: int, n: int, length: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    out = rng.standard_normal((n, length)) * 200
+    if n > 1:
+        out[0] = 0.0  # degenerate: zero variance
+    return out
+
+
+# --- kernel equivalence: batched == scalar, element for element ---------------
+
+
+class TestHashBatchEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        measure=st.sampled_from(SUPPORTED_MEASURES),
+        n=st.integers(1, 6),
+        extra=st.integers(0, 80),
+    )
+    def test_hash_windows_matches_scalar(self, seed, measure, n, extra):
+        family = LSHFamily.for_measure(measure)
+        length = family.config.sketch_window + extra if measure != "emd" \
+            else 2 + extra
+        batch = _windows(seed, n, length)
+        batched = family.hash_windows(batch)
+        scalar = np.array(
+            [family.hash_window(row) for row in batch], dtype=np.int64
+        )
+        assert np.array_equal(batched, scalar)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 5))
+    def test_quantised_windows_match_scalar(self, seed, n):
+        # the signature-cache input: int16 round-tripped samples
+        family = LSHFamily.for_measure("dtw")
+        quantised = _windows(seed, n, 120).astype("<i2").astype(float)
+        batched = family.hash_windows(quantised)
+        scalar = np.array(
+            [family.hash_window(row) for row in quantised], dtype=np.int64
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_matches_many_matches_scalar(self, rng):
+        family = LSHFamily.for_measure("dtw")
+        signatures = family.hash_windows(rng.standard_normal((20, 120)))
+        probe = family.hash_window(rng.standard_normal(120))
+        batched = family.matches_many(signatures, probe)
+        scalar = [
+            family.matches(tuple(int(c) for c in row), probe)
+            for row in signatures
+        ]
+        assert batched.tolist() == scalar
+
+    def test_matches_many_rejects_width_mismatch(self):
+        family = LSHFamily.for_measure("dtw")
+        with pytest.raises(ConfigurationError):
+            family.matches_many(np.zeros((2, 3), dtype=int), (0,) * 12)
+
+    def test_rejects_non_2d(self):
+        family = LSHFamily.for_measure("dtw")
+        with pytest.raises(ConfigurationError):
+            family.hash_windows(np.zeros(120))
+
+
+class TestDTWBatchEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 5),
+        length=st.integers(4, 30),
+        template_len=st.integers(4, 30),
+        band=st.sampled_from([None, 1, 2, 5, 100]),
+    )
+    def test_matches_scalar(self, seed, n, length, template_len, band):
+        if band == 1:
+            template_len = length  # lockstep needs equal lengths
+        rng = np.random.default_rng(seed)
+        batch = rng.standard_normal((n, length)) * 5
+        template = rng.standard_normal(template_len) * 5
+        batched = dtw_distance_batch(batch, template, band)
+        scalar = np.array(
+            [dtw_distance(row, template, band) for row in batch]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_empty_batch(self):
+        out = dtw_distance_batch(np.empty((0, 10)), np.ones(10), 3)
+        assert out.shape == (0,)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            dtw_distance_batch(np.zeros(10), np.ones(10))
+        with pytest.raises(ConfigurationError):
+            dtw_distance_batch(np.zeros((2, 0)), np.ones(10))
+
+
+# --- the hash-on-write signature cache ----------------------------------------
+
+
+def _cached_controller(seed: int = 0, n_windows: int = 3, n_electrodes: int = 2):
+    lsh = LSHFamily.for_measure("dtw")
+    controller = StorageController(
+        device=NVMDevice(capacity_bytes=CAPACITY), lsh=lsh
+    )
+    rng = np.random.default_rng(seed)
+    for w in range(n_windows):
+        controller.store_channel_windows(
+            w, (rng.standard_normal((n_electrodes, 120)) * 200).round()
+        )
+    return controller, lsh
+
+
+class TestSignatureCache:
+    def test_hash_on_write_matches_read_back(self):
+        controller, lsh = _cached_controller()
+        for key in controller.stored_windows():
+            samples = controller.read_window(*key)
+            assert controller.window_signature(*key) == lsh.hash_window(
+                samples.astype(float)
+            )
+
+    def test_rewrite_updates_signature(self, rng):
+        controller, lsh = _cached_controller()
+        fresh = (rng.standard_normal(120) * 200).round()
+        controller.store_window(0, 0, fresh)
+        assert controller.window_signature(0, 0) == lsh.hash_window(
+            fresh.astype("<i2").astype(float)
+        )
+
+    def test_no_lsh_means_no_signatures(self, rng):
+        controller = StorageController(
+            device=NVMDevice(capacity_bytes=CAPACITY)
+        )
+        controller.store_window(0, 0, (rng.standard_normal(120) * 200).round())
+        assert controller.window_signature(0, 0) is None
+
+    def test_lose_sram_invalidates(self):
+        controller, _ = _cached_controller()
+        controller.lose_sram()
+        assert controller.window_signature(0, 0) is None
+
+    def test_invalidate_signatures(self):
+        controller, _ = _cached_controller()
+        controller.invalidate_signatures()
+        assert all(
+            controller.window_signature(*key) is None
+            for key in controller.stored_windows()
+        )
+
+    def test_recover_restores_signatures_and_digest(self):
+        controller, _ = _cached_controller()
+        digest = controller.state_digest()
+        expected = {
+            key: controller.window_signature(*key)
+            for key in controller.stored_windows()
+        }
+        controller.lose_sram()
+        controller.recover()
+        assert controller.state_digest() == digest
+        assert {
+            key: controller.window_signature(*key)
+            for key in controller.stored_windows()
+        } == expected
+
+    def test_recover_without_lsh_replays_journaled_signatures(self):
+        # a failover replica replays the journal without holding the hash
+        # family — signatures must come from the records, never a rehash
+        controller, _ = _cached_controller()
+        replica = StorageController(device=controller.device)
+        replica.journal = controller.journal
+        replica.recover()
+        assert replica.state_digest() == controller.state_digest()
+
+    def test_checkpoint_roundtrips_signatures(self):
+        controller, _ = _cached_controller()
+        controller.checkpoint()
+        digest = controller.state_digest()
+        controller.lose_sram()
+        report = controller.recover()
+        assert report.checkpoint_used
+        assert controller.state_digest() == digest
+
+    def test_recover_drops_signatures_on_poisoned_pages(self):
+        # windows big enough that each starts on its own page
+        lsh = LSHFamily.for_measure("dtw")
+        controller = StorageController(
+            device=NVMDevice(capacity_bytes=CAPACITY), lsh=lsh
+        )
+        rng = np.random.default_rng(0)
+        for w in range(3):
+            controller.store_window(
+                0, w, (rng.standard_normal(3000) * 200).round()
+            )
+        key = controller.stored_windows()[0]
+        page = controller._windows[key].address // PAGE_BYTES
+        controller.device._poisoned.add(page)
+        controller.lose_sram()
+        controller.recover()
+        assert controller.window_signature(*key) is None
+        survivors = [
+            k
+            for k in controller.stored_windows()
+            if controller._windows[k].address // PAGE_BYTES != page
+        ]
+        assert any(
+            controller.window_signature(*k) is not None for k in survivors
+        )
+
+
+# --- engine equivalence: scalar vs batched vs cache-warm ----------------------
+
+
+def _fleet(seed: int = 0, n_nodes: int = 3, with_cache: bool = True):
+    lsh = LSHFamily.for_measure("dtw")
+    rng = np.random.default_rng(seed)
+    template = (rng.standard_normal(120).cumsum() * 300).round()
+    controllers = []
+    for node in range(n_nodes):
+        controller = StorageController(
+            device=NVMDevice(capacity_bytes=CAPACITY),
+            lsh=lsh if with_cache else None,
+        )
+        for w in range(4):
+            if node == 0 and w == 1:
+                window = template + (5 * rng.standard_normal(120)).round()
+            else:
+                window = (rng.standard_normal(120).cumsum() * 300).round()
+            controller.store_window(0, w, window)
+            controller.store_window(1, w, window[::-1].copy())
+        # a different geometry on one node exercises length grouping
+        if node == 1:
+            controller.store_window(0, 9, np.arange(60) * 7)
+        controllers.append(controller)
+    engine = QueryEngine(
+        controllers,
+        lsh,
+        seizure_flags={0: {1, 2}, 1: {0}},
+        dtw_threshold=20_000.0,
+    )
+    return engine, template
+
+
+def _row_keys(result):
+    return [
+        (row.node, row.electrode, row.window_index, row.samples.tobytes())
+        for row in result.rows
+    ]
+
+
+SPECS = [
+    ("q1", QuerySpec("q1", 16.0), False),
+    ("q2-hash", QuerySpec("q2", 16.0), True),
+    ("q2-dtw", QuerySpec("q2", 16.0, use_hash=False), True),
+    ("q3", QuerySpec("q3", 16.0), False),
+]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("label,spec,needs_template",
+                             [(s[0], s[1], s[2]) for s in SPECS])
+    def test_batched_equals_scalar(self, label, spec, needs_template):
+        engine, template = _fleet()
+        tpl = template if needs_template else None
+        scalar = dataclasses.replace(engine, batched=False)
+        cold = dataclasses.replace(engine, use_cache=False)
+        reference = _row_keys(scalar.run(spec, (0, 10), template=tpl))
+        assert _row_keys(cold.run(spec, (0, 10), template=tpl)) == reference
+        assert _row_keys(engine.run(spec, (0, 10), template=tpl)) == reference
+
+    def test_warm_cache_equals_uncached_fleet(self):
+        spec = QuerySpec("q2", 16.0)
+        warm_engine, template = _fleet(with_cache=True)
+        cold_engine, _ = _fleet(with_cache=False)
+        warm = _row_keys(warm_engine.run(spec, (0, 10), template=template))
+        cold = _row_keys(cold_engine.run(spec, (0, 10), template=template))
+        assert warm == cold
+
+    def test_identical_after_crash_and_recover(self):
+        spec = QuerySpec("q2", 16.0)
+        engine, template = _fleet()
+        before = _row_keys(engine.run(spec, (0, 10), template=template))
+        for controller in engine.controllers:
+            controller.lose_sram()
+            controller.recover()
+        assert _row_keys(engine.run(spec, (0, 10), template=template)) == before
+        # and with the caches dropped outright (cold recompute path)
+        for controller in engine.controllers:
+            controller.invalidate_signatures()
+        assert _row_keys(engine.run(spec, (0, 10), template=template)) == before
+
+    def test_dead_nodes_and_row_order(self):
+        engine, template = _fleet()
+        result = engine.run(
+            QuerySpec("q2", 16.0), (0, 10), template=template,
+            dead_nodes={1},
+        )
+        assert result.failed_nodes == [1]
+        assert result.degraded
+        scalar = dataclasses.replace(engine, batched=False)
+        assert _row_keys(result) == _row_keys(
+            scalar.run(QuerySpec("q2", 16.0), (0, 10), template=template,
+                       dead_nodes={1})
+        )
+
+
+class TestDeprecatedShims:
+    def test_execute_warns_and_matches_run(self):
+        engine, template = _fleet()
+        expected = engine.run(
+            QuerySpec("q2", 16.0), (0, 10), template=template
+        )
+        with pytest.warns(DeprecationWarning, match="QueryEngine.run"):
+            rows = engine.execute(
+                QuerySpec("q2", 16.0), (0, 10), template=template
+            )
+        assert [
+            (r.node, r.electrode, r.window_index, r.samples.tobytes())
+            for r in rows
+        ] == _row_keys(expected)
+
+    def test_execute_resilient_warns_and_matches_run(self):
+        engine, template = _fleet()
+        expected = engine.run(
+            QuerySpec("q2", 16.0), (0, 10), template=template,
+            dead_nodes={2},
+        )
+        with pytest.warns(DeprecationWarning, match="QueryEngine.run"):
+            result = engine.execute_resilient(
+                QuerySpec("q2", 16.0), (0, 10), template=template,
+                dead_nodes={2},
+            )
+        assert _row_keys(result) == _row_keys(expected)
+        assert result.failed_nodes == expected.failed_nodes
+        assert result.queried_nodes == expected.queried_nodes
