@@ -32,6 +32,8 @@ Package map:
 * :mod:`repro.datasets` — synthetic iEEG and spike datasets.
 * :mod:`repro.core` — nodes, the distributed system, Table 2 designs,
   thermal model, clock sync.
+* :mod:`repro.serving` — fleet-scale query serving: admission control,
+  coalescing, deadline scheduling.
 * :mod:`repro.eval` — one experiment driver per paper table/figure.
 """
 
@@ -64,6 +66,7 @@ from repro.scheduler import (
     SchedulerProblem,
     max_throughput_mbps,
 )
+from repro.serving import LoadGenConfig, QueryServer, ServerConfig, serve_session
 from repro.units import ELECTRODES_PER_NODE, NODE_POWER_CAP_MW
 
 __version__ = "1.0.0"
@@ -99,6 +102,10 @@ __all__ = [
     "Flow",
     "SchedulerProblem",
     "max_throughput_mbps",
+    "LoadGenConfig",
+    "QueryServer",
+    "ServerConfig",
+    "serve_session",
     "ELECTRODES_PER_NODE",
     "NODE_POWER_CAP_MW",
     "__version__",

@@ -9,6 +9,7 @@ Usage::
     python -m repro trace seizure       # run a scenario under telemetry
     python -m repro recover             # crash + reboot + resync smoke run
     python -m repro query --nodes 4     # Q1/Q2/Q3 over a live fleet
+    python -m repro serve --qps 40      # open-loop load against the server
     python -m repro all                 # everything (slow)
 
 ``trace`` runs a canned scenario with a live telemetry handle, prints
@@ -22,6 +23,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable
+
+from repro.errors import ScaloError
 
 
 def _table1(args) -> None:
@@ -221,6 +224,7 @@ def _query(args) -> None:
     import numpy as np
 
     from repro.api import Telemetry, build_system, run_query
+    from repro.errors import ConfigurationError
 
     telemetry = Telemetry()
     system = build_system(
@@ -235,6 +239,12 @@ def _query(args) -> None:
         system.ingest(windows)
     template = windows[0][0]
     flags = {node: {0, n_windows - 1} for node in range(args.nodes)}
+    window_range = args.range if args.range is not None else (0, n_windows)
+    if not 0 <= window_range[0] < window_range[1]:
+        raise ConfigurationError(
+            f"window range {window_range[0]}:{window_range[1]} is empty or "
+            "negative; expected START:STOP with 0 <= START < STOP"
+        )
     reg = telemetry.registry
     print(f"-- interactive queries over {args.nodes} implants, "
           f"{n_windows} windows x 8 electrodes (seed {args.seed})\n")
@@ -245,7 +255,7 @@ def _query(args) -> None:
     ):
         hits0 = reg.counter("query.cache_hit")
         misses0 = reg.counter("query.cache_miss")
-        result = run_query(system, kind, (0, n_windows), **kwargs)
+        result = run_query(system, kind, window_range, **kwargs)
         hits = reg.counter("query.cache_hit") - hits0
         misses = reg.counter("query.cache_miss") - misses0
         cache = (f", cache {hits:.0f} hit / {misses:.0f} miss"
@@ -258,6 +268,48 @@ def _query(args) -> None:
         if name == "query.batch_windows"
     )
     print(f"\n  batched windows scanned: {scanned:.0f}")
+
+
+def _serve(args) -> None:
+    from repro.api import LoadGenConfig, ServerConfig, Telemetry, serve_session
+    from repro.eval.reporting import span_summary, telemetry_summary
+    from repro.telemetry import write_metrics_csv
+
+    telemetry = Telemetry()
+    load = LoadGenConfig(
+        n_requests=args.requests, offered_qps=args.qps, seed=args.seed
+    )
+    config = ServerConfig(max_queue=args.queue, coalesce=not args.serial)
+    _, report = serve_session(
+        n_nodes=4,
+        electrodes=8,
+        seed=args.seed,
+        load=load,
+        server_config=config,
+        telemetry=telemetry,
+    )
+    mode = "serial" if args.serial else "coalesced"
+    print(f"-- open-loop serving, {report.offered_qps:.0f} QPS offered, "
+          f"{mode} dispatch (seed {args.seed})\n")
+    print(f"  offered    {report.n_offered:6d}")
+    print(f"  completed  {report.completed:6d}")
+    print(f"  shed       {report.shed:6d}  ({report.shed_rate:.1%})")
+    print(f"  misses     {report.deadline_misses:6d}  "
+          f"({report.miss_rate:.1%} of completed)")
+    print(f"  waves      {report.waves:6d}  "
+          f"(coalesced requests: {report.coalesced_requests})")
+    print(f"  latency    mean {report.mean_latency_ms:7.1f} ms   "
+          f"p50 {report.p50_latency_ms:7.1f} ms   "
+          f"p99 {report.p99_latency_ms:7.1f} ms")
+    print(f"  max queue  {report.max_queue_depth:6d}")
+    print(f"  degraded   {report.degraded_responses:6d}")
+    print()
+    print(telemetry_summary(telemetry.registry))
+    print()
+    print(span_summary(telemetry.tracer))
+    if args.csv:
+        path = write_metrics_csv(telemetry.registry, args.csv)
+        print(f"\nmetrics CSV written to {path}")
 
 
 def _export(args) -> None:
@@ -273,14 +325,16 @@ def _trace(args) -> None:
     from repro.telemetry import write_chrome_trace, write_metrics_csv
     from repro.telemetry.scenarios import SCENARIOS, run_scenario
 
+    from repro.errors import ConfigurationError
+
     name = args.scenario or "seizure"
     if name not in SCENARIOS:
         known = "\n".join(
             f"  {s.name:10s} {s.description}" for s in SCENARIOS.values()
         )
-        print(f"unknown scenario {name!r}; available:\n{known}",
-              file=sys.stderr)
-        raise SystemExit(2)
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available:\n{known}"
+        )
     telemetry = run_scenario(name, seed=args.seed)
     print(f"-- scenario {name!r} (seed {args.seed}), "
           f"simulated time {telemetry.clock.now_ms:.2f} ms\n")
@@ -319,7 +373,24 @@ _COMMANDS: dict[str, Callable] = {
     "trace": _trace,
     "recover": _recover,
     "query": _query,
+    "serve": _serve,
 }
+
+
+def _window_range(text: str) -> tuple[int, int]:
+    """Parse a ``START:STOP`` window range for ``--range``."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"expected START:STOP, got {text!r}"
+        )
+    try:
+        start, stop = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"window range bounds must be integers, got {text!r}"
+        ) from None
+    return start, stop
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -344,26 +415,43 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the metrics registry as CSV ('trace')")
     parser.add_argument("--out", default="results",
                         help="output directory for 'export'")
+    parser.add_argument("--qps", type=float, default=40.0,
+                        help="offered load for 'serve' (queries/s)")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="number of requests 'serve' offers")
+    parser.add_argument("--queue", type=int, default=16,
+                        help="admission queue bound for 'serve'")
+    parser.add_argument("--serial", action="store_true",
+                        help="disable coalescing for 'serve'")
+    parser.add_argument("--range", type=_window_range, default=None,
+                        metavar="START:STOP",
+                        help="window-index range for 'query'")
     args = parser.parse_args(argv)
 
     if args.target == "list":
         for name in sorted(set(_COMMANDS)):
             print(name)
         return 0
-    if args.target == "all":
-        for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export",
-                                             "trace", "recover", "query"}):
-            print(f"\n===== {name} =====")
-            _COMMANDS[name](args)
-        return 0
-    command = _COMMANDS.get(args.target)
-    if command is None:
-        print(f"unknown target {args.target!r}; available commands:",
-              file=sys.stderr)
-        for name in ("list", "all", *sorted(set(_COMMANDS))):
-            print(f"  {name}", file=sys.stderr)
+    try:
+        if args.target == "all":
+            for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export",
+                                                 "trace", "recover", "query",
+                                                 "serve"}):
+                print(f"\n===== {name} =====")
+                _COMMANDS[name](args)
+            return 0
+        command = _COMMANDS.get(args.target)
+        if command is None:
+            print(f"unknown target {args.target!r}; available commands:",
+                  file=sys.stderr)
+            for name in ("list", "all", *sorted(set(_COMMANDS))):
+                print(f"  {name}", file=sys.stderr)
+            return 2
+        command(args)
+    except ScaloError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        parser.print_usage(sys.stderr)
         return 2
-    command(args)
     return 0
 
 

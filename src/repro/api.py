@@ -9,6 +9,12 @@ of reaching five modules deep::
     system.ingest(windows)
     result = run_query(system, "q3", (0, 1))
 
+Many concurrent callers go through the serving layer instead — a
+:class:`~repro.serving.QueryServer` (or the one-call
+:func:`~repro.serving.serve_session`) multiplexes deadline-bearing
+request streams onto the same query path with admission control and
+coalescing.
+
 Everything re-exported here is covered by the deprecation policy: the
 deeper module paths may shuffle between releases, ``repro.api`` does not.
 """
@@ -24,6 +30,14 @@ from repro.apps.queries import (
     QuerySpec,
 )
 from repro.core.system import ScaloSystem
+from repro.errors import QueryRejected
+from repro.serving import (
+    LoadGenConfig,
+    QueryServer,
+    ServeReport,
+    ServerConfig,
+    serve_session,
+)
 from repro.telemetry import NULL_TELEMETRY, Telemetry, TelemetryLike
 from repro.telemetry.scenarios import SCENARIOS, run_scenario
 from repro.units import WINDOW_MS
@@ -32,12 +46,18 @@ __all__ = [
     "build_system",
     "run_query",
     "run_scenario",
+    "serve_session",
     "SCENARIOS",
     "ScaloSystem",
     "QuerySpec",
     "QueryEngine",
+    "QueryRejected",
     "QueryResultRow",
+    "QueryServer",
     "DistributedQueryResult",
+    "LoadGenConfig",
+    "ServeReport",
+    "ServerConfig",
     "Telemetry",
 ]
 

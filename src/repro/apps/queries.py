@@ -196,6 +196,19 @@ class DistributedQueryResult:
     queried_nodes: list[int]
     failed_nodes: list[int]
 
+    def row_keys(self) -> list[tuple[int, int, int, bytes]]:
+        """Canonical ``(node, electrode, window, sample-bytes)`` tuples.
+
+        The stable identity of an answer: equality of two results' row
+        keys is exactly "same rows, same order, same bytes" — what the
+        batched/scalar equivalence tests and the serving layer's
+        response-log checksums compare.
+        """
+        return [
+            (row.node, row.electrode, row.window_index, row.samples.tobytes())
+            for row in self.rows
+        ]
+
     @property
     def degraded(self) -> bool:
         return bool(self.failed_nodes)

@@ -111,6 +111,25 @@ class NodeFailure(ScaloError):
         super().__init__(message)
 
 
+class QueryRejected(ScaloError):
+    """The query server shed a request at admission (HTTP-429 analogue).
+
+    ``reason`` is ``"queue_full"`` (the bounded admission queue is at
+    capacity) or ``"rate_limited"`` (the client's token bucket is empty);
+    ``retry_after_ms`` is the earliest simulated time offset at which a
+    resubmission could be admitted (0 when unknowable, e.g. queue_full).
+    """
+
+    def __init__(self, client: str, reason: str, retry_after_ms: float = 0.0):
+        self.client = client
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms
+        message = f"query from client {client!r} shed ({reason})"
+        if retry_after_ms > 0:
+            message = f"{message}, retry after {retry_after_ms:.1f} ms"
+        super().__init__(message)
+
+
 class QuerySyntaxError(ScaloError):
     """The Trill-like query text could not be parsed."""
 

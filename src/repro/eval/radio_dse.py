@@ -10,6 +10,7 @@ from repro.network.radio import RADIO_CATALOG
 from repro.network.tdma import TDMAConfig
 from repro.scheduler.ilp import max_throughput_mbps
 from repro.scheduler.model import dtw_similarity_task, hash_similarity_task
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 from repro.units import NODE_POWER_CAP_MW
 
 #: Radio order on the Fig. 13 x-axis.
@@ -17,7 +18,8 @@ RADIO_ORDER = ("High Perf", "Low Data Rate", "Low BER", "Low Power")
 
 
 def radio_throughputs(
-    n_nodes: int = 6, power_mw: float = NODE_POWER_CAP_MW
+    n_nodes: int = 6, power_mw: float = NODE_POWER_CAP_MW,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
 ) -> dict[str, dict[str, float]]:
     """Absolute Mbps per radio: {radio: {app: mbps}}.
 
@@ -31,19 +33,22 @@ def radio_throughputs(
         budget = power_mw - radio.power_mw
         out[name] = {
             "Hash All-All": max_throughput_mbps(
-                hash_similarity_task("all_all"), n_nodes, budget, tdma=tdma
+                hash_similarity_task("all_all"), n_nodes, budget, tdma=tdma,
+                telemetry=telemetry,
             ),
             "DTW One-All": max_throughput_mbps(
-                dtw_similarity_task("one_all"), n_nodes, budget, tdma=tdma
+                dtw_similarity_task("one_all"), n_nodes, budget, tdma=tdma,
+                telemetry=telemetry,
             ),
         }
     return out
 
 
-def fig13(n_nodes: int = 6, power_mw: float = NODE_POWER_CAP_MW
+def fig13(n_nodes: int = 6, power_mw: float = NODE_POWER_CAP_MW,
+          telemetry: TelemetryLike = NULL_TELEMETRY
           ) -> dict[str, dict[str, float]]:
     """Fig. 13: throughput normalised to the Low Power radio."""
-    absolute = radio_throughputs(n_nodes, power_mw)
+    absolute = radio_throughputs(n_nodes, power_mw, telemetry=telemetry)
     baseline = absolute["Low Power"]
     return {
         radio: {

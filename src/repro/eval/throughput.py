@@ -18,6 +18,7 @@ from repro.scheduler.model import (
     seizure_detection_task,
     spike_sorting_task,
 )
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 
 #: Node counts on the Fig. 8b/8c axes.
 NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
@@ -33,7 +34,8 @@ def fig8a(n_nodes: int = 11, power_mw: float = 15.0
 
 
 def _sweep(task_factory, tdma: TDMAConfig | None = None,
-           node_counts=NODE_COUNTS, power_limits=POWER_LIMITS_MW
+           node_counts=NODE_COUNTS, power_limits=POWER_LIMITS_MW,
+           telemetry: TelemetryLike = NULL_TELEMETRY
            ) -> dict[float, dict[int, float]]:
     """power -> nodes -> Mbps for one task."""
     surface: dict[float, dict[int, float]] = {}
@@ -41,37 +43,45 @@ def _sweep(task_factory, tdma: TDMAConfig | None = None,
         row = {}
         for n in node_counts:
             task = task_factory()
-            row[n] = max_throughput_mbps(task, n, power, tdma=tdma)
+            row[n] = max_throughput_mbps(task, n, power, tdma=tdma,
+                                         telemetry=telemetry)
         surface[power] = row
     return surface
 
 
 def fig8b(tdma: TDMAConfig | None = None, node_counts=NODE_COUNTS,
-          power_limits=POWER_LIMITS_MW) -> dict[str, dict[float, dict[int, float]]]:
+          power_limits=POWER_LIMITS_MW,
+          telemetry: TelemetryLike = NULL_TELEMETRY
+          ) -> dict[str, dict[float, dict[int, float]]]:
     """Fig. 8b: the four signal-similarity surfaces."""
     return {
         "DTW All-All": _sweep(lambda: dtw_similarity_task("all_all"),
-                              tdma, node_counts, power_limits),
+                              tdma, node_counts, power_limits, telemetry),
         "DTW One-All": _sweep(lambda: dtw_similarity_task("one_all"),
-                              tdma, node_counts, power_limits),
+                              tdma, node_counts, power_limits, telemetry),
         "Hash All-All": _sweep(lambda: hash_similarity_task("all_all"),
-                               tdma, node_counts, power_limits),
+                               tdma, node_counts, power_limits, telemetry),
         "Hash One-All": _sweep(lambda: hash_similarity_task("one_all"),
-                               tdma, node_counts, power_limits),
+                               tdma, node_counts, power_limits, telemetry),
     }
 
 
-def fig8c(node_counts=NODE_COUNTS, power_limits=POWER_LIMITS_MW
+def fig8c(node_counts=NODE_COUNTS, power_limits=POWER_LIMITS_MW,
+          telemetry: TelemetryLike = NULL_TELEMETRY
           ) -> dict[str, dict[float, dict[int, float]]]:
     """Fig. 8c: the three movement-intent surfaces."""
     return {
-        "MI SVM": _sweep(mi_svm_task, None, node_counts, power_limits),
-        "MI NN": _sweep(mi_nn_task, None, node_counts, power_limits),
-        "MI KF": _sweep(mi_kf_task, None, node_counts, power_limits),
+        "MI SVM": _sweep(mi_svm_task, None, node_counts, power_limits,
+                         telemetry),
+        "MI NN": _sweep(mi_nn_task, None, node_counts, power_limits,
+                        telemetry),
+        "MI KF": _sweep(mi_kf_task, None, node_counts, power_limits,
+                        telemetry),
     }
 
 
-def sec62_local_tasks(power_limits=(15.0, 12.0, 9.0, 6.0)
+def sec62_local_tasks(power_limits=(15.0, 12.0, 9.0, 6.0),
+                      telemetry: TelemetryLike = NULL_TELEMETRY
                       ) -> dict[str, dict[float, float]]:
     """§6.2 scalars: per-node detection / sorting throughput vs power.
 
@@ -82,9 +92,9 @@ def sec62_local_tasks(power_limits=(15.0, 12.0, 9.0, 6.0)
                                           "spike_sorting": {}}
     for p in power_limits:
         out["seizure_detection"][p] = max_throughput_mbps(
-            seizure_detection_task(), 1, p
+            seizure_detection_task(), 1, p, telemetry=telemetry
         )
         out["spike_sorting"][p] = max_throughput_mbps(
-            spike_sorting_task(), 1, p
+            spike_sorting_task(), 1, p, telemetry=telemetry
         )
     return out

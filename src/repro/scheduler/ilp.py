@@ -337,11 +337,17 @@ class SchedulerProblem:
             tel.inc("scheduler.solve_failures")
             raise SchedulingError(f"LP failed: {result.message}")
 
+        # HiGHS reports interior-point-ish roundoff: components can come
+        # back as -1e-12 and propagate sign into every derived quantity
+        # (negative electrodes, power, airtime).  Feasible solutions are
+        # non-negative by construction, so clamp before deriving.
+        x = np.maximum(result.x, 0.0)
+
         allocations = []
         node_power = static_mw
         utilisation = 0.0
         for i, flow in enumerate(self.flows):
-            e = float(result.x[i])
+            e = float(x[i])
             task = flow.task
             count = 1.0 if task.centralised else float(self.n_nodes)
             slope, fixed = self._airtime_slope_fixed(task)
@@ -390,6 +396,7 @@ def max_throughput_mbps(
     power_budget_mw: float = NODE_POWER_CAP_MW,
     electrode_cap: float | None = None,
     tdma: TDMAConfig | None = None,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
 ) -> float:
     """Single-flow convenience: the paper's "maximum aggregate throughput"."""
     problem = SchedulerProblem(
@@ -397,5 +404,6 @@ def max_throughput_mbps(
         flows=[Flow(task, electrode_cap=electrode_cap)],
         power_budget_mw=power_budget_mw,
         tdma=tdma if tdma is not None else TDMAConfig(),
+        telemetry=telemetry,
     )
     return problem.solve().aggregate_mbps

@@ -1,0 +1,47 @@
+"""Fleet-scale query serving: admission control, coalescing, EDF dispatch.
+
+The multiplexing layer between many concurrent clients and the batched
+query path: a bounded admission queue with per-client token buckets
+(overload sheds with :class:`~repro.errors.QueryRejected`), micro-batch
+coalescing of compatible queries into one scan per wave, and
+earliest-deadline-first dispatch with deadline-miss accounting — all in
+simulated time, deterministic for a given seed and fault plan.  See
+DESIGN.md "Serving model".
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryRejected
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.serving.loadgen import (
+    Arrival,
+    LoadGenConfig,
+    ServeReport,
+    generate_arrivals,
+    run_open_loop,
+    serve_session,
+    summarise,
+)
+from repro.serving.server import (
+    QueryRequest,
+    QueryResponse,
+    QueryServer,
+    ServerConfig,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Arrival",
+    "LoadGenConfig",
+    "QueryRejected",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryServer",
+    "ServeReport",
+    "ServerConfig",
+    "TokenBucket",
+    "generate_arrivals",
+    "run_open_loop",
+    "serve_session",
+    "summarise",
+]

@@ -1,0 +1,292 @@
+"""Seeded open-loop load generation for the query server.
+
+An *open-loop* generator emits arrivals on its own schedule regardless
+of how the server is doing (the honest way to measure shedding: a
+closed loop would self-throttle and hide overload).  Arrivals are drawn
+from one seeded RNG — exponential inter-arrival gaps at the offered
+QPS, clients and query kinds sampled from fixed mixes, Q2 templates
+drawn from a small pool so compatible queries actually coalesce — and
+the whole timeline is a pure function of the config, so two runs with
+the same seed offer byte-identical load.
+
+:func:`serve_session` is the everything-wired entry point used by the
+``serve`` CLI/scenario and the benchmark: build a seeded fleet, ingest,
+optionally replay a :class:`~repro.faults.plan.FaultPlan` against it
+while the load runs (the health monitor's belief feeds the server), and
+return the server plus a :class:`ServeReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.queries import QueryEngine, QuerySpec
+from repro.errors import ConfigurationError, QueryRejected
+from repro.serving.server import QueryServer, ServerConfig
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One open-loop load description."""
+
+    n_requests: int = 64
+    offered_qps: float = 20.0
+    seed: int = 0
+    n_clients: int = 4
+    #: relative deadline stamped on every request (ms after arrival)
+    deadline_ms: float = 250.0
+    #: q1/q2/q3 mix (normalised at draw time)
+    kind_weights: tuple[float, float, float] = (0.25, 0.5, 0.25)
+    #: Q2 probes are drawn from a pool this large, so repeats coalesce
+    n_templates: int = 3
+    #: time span each query covers (the Fig. 10 cost-model input)
+    time_range_ms: float = 110.0
+    #: fraction of data matching Q1/Q2 predicates (Q3 ships everything)
+    match_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ConfigurationError("need at least one request")
+        if self.offered_qps <= 0:
+            raise ConfigurationError("offered load must be positive")
+        if self.n_clients < 1:
+            raise ConfigurationError("need at least one client")
+        if self.n_templates < 1:
+            raise ConfigurationError("need at least one template")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: when, who, and what to ask."""
+
+    at_ms: float
+    client: str
+    spec: QuerySpec
+    template_index: int | None
+
+
+def generate_arrivals(config: LoadGenConfig) -> list[Arrival]:
+    """Draw the deterministic arrival timeline for one load config."""
+    rng = np.random.default_rng(config.seed)
+    weights = np.asarray(config.kind_weights, dtype=float)
+    weights = weights / weights.sum()
+    arrivals: list[Arrival] = []
+    t = 0.0
+    for _ in range(config.n_requests):
+        t += float(rng.exponential(1e3 / config.offered_qps))
+        client = f"c{int(rng.integers(config.n_clients)):02d}"
+        kind = ("q1", "q2", "q3")[int(rng.choice(3, p=weights))]
+        template_index = (
+            int(rng.integers(config.n_templates)) if kind == "q2" else None
+        )
+        spec = QuerySpec(
+            kind=kind,
+            time_range_ms=config.time_range_ms,
+            match_fraction=1.0 if kind == "q3" else config.match_fraction,
+        )
+        arrivals.append(Arrival(t, client, spec, template_index))
+    return arrivals
+
+
+@dataclass
+class ServeReport:
+    """What one open-loop run did, summarised for tables and gates."""
+
+    offered_qps: float
+    n_offered: int
+    completed: int
+    shed: int
+    deadline_misses: int
+    waves: int
+    coalesced_requests: int
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    max_queue_depth: int
+    degraded_responses: int
+    response_log: str = field(repr=False)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.n_offered if self.n_offered else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.deadline_misses / self.completed if self.completed else 0.0
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(np.ceil(q / 100.0 * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def summarise(
+    server: QueryServer, offered_qps: float, n_offered: int, shed: int
+) -> ServeReport:
+    """Fold a finished server's responses into a :class:`ServeReport`."""
+    latencies = sorted(r.latency_ms for r in server.responses)
+    wave_ids = {r.wave_id for r in server.responses}
+    coalesced = sum(
+        1 for r in server.responses if r.wave_size > 1
+    )
+    return ServeReport(
+        offered_qps=offered_qps,
+        n_offered=n_offered,
+        completed=len(server.responses),
+        shed=shed,
+        deadline_misses=sum(r.deadline_missed for r in server.responses),
+        waves=len(wave_ids),
+        coalesced_requests=coalesced,
+        mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+        p50_latency_ms=_percentile(latencies, 50.0),
+        p99_latency_ms=_percentile(latencies, 99.0),
+        max_queue_depth=server.max_queue_depth,
+        degraded_responses=sum(r.degraded for r in server.responses),
+        response_log=server.response_log(),
+    )
+
+
+def run_open_loop(
+    server: QueryServer,
+    arrivals: list[Arrival],
+    window_range: tuple[int, int],
+    templates: list[np.ndarray],
+    *,
+    deadline_ms: float = 250.0,
+    on_advance=None,
+) -> tuple[int, int]:
+    """Drive one arrival timeline through a server.
+
+    Between arrivals the server dispatches whatever waves can start
+    (``run_until``); ``on_advance(t_ms)`` — called before each arrival
+    and once after the last — lets a caller interleave external
+    timelines (the fault injector's TDMA rounds).  Returns
+    ``(n_offered, n_shed)``; responses accumulate on the server.
+    """
+    shed = 0
+    for arrival in arrivals:
+        if on_advance is not None:
+            on_advance(arrival.at_ms)
+        server.run_until(arrival.at_ms)
+        template = (
+            templates[arrival.template_index % len(templates)]
+            if arrival.template_index is not None
+            else None
+        )
+        try:
+            server.submit(
+                arrival.client,
+                arrival.spec,
+                window_range,
+                template=template,
+                deadline_ms=deadline_ms,
+                arrival_ms=arrival.at_ms,
+            )
+        except QueryRejected:
+            shed += 1
+    if on_advance is not None and arrivals:
+        on_advance(arrivals[-1].at_ms)
+    server.drain()
+    return len(arrivals), shed
+
+
+def serve_session(
+    *,
+    n_nodes: int = 4,
+    electrodes: int = 8,
+    n_windows: int = 4,
+    seed: int = 0,
+    load: LoadGenConfig | None = None,
+    server_config: ServerConfig | None = None,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
+    fault_plan=None,
+    round_ms: float = 50.0,
+) -> tuple[QueryServer, ServeReport]:
+    """Build a fleet, offer one seeded load, return server + report.
+
+    With a ``fault_plan``, a :class:`~repro.faults.injector.FaultInjector`
+    replays it against the system while the load runs — one TDMA round
+    per ``round_ms`` of simulated serving time — and the health
+    monitor's belief (unioned with ground-truth dead nodes) steers the
+    server's degraded answers.  Same seed + same plan ⇒ byte-identical
+    response log, with or without telemetry attached.
+    """
+    from repro.core.system import ScaloSystem
+    from repro.units import WINDOW_SAMPLES
+
+    load = load if load is not None else LoadGenConfig(seed=seed)
+    system = ScaloSystem(
+        n_nodes=n_nodes,
+        electrodes_per_node=electrodes,
+        seed=seed,
+        telemetry=telemetry,
+    )
+    rng = np.random.default_rng(seed)
+    templates: list[np.ndarray] = []
+    for w in range(n_windows):
+        windows = (
+            rng.standard_normal((n_nodes, electrodes, WINDOW_SAMPLES)).cumsum(
+                axis=2
+            )
+            * 300
+        ).round()
+        system.ingest(windows)
+        if len(templates) < load.n_templates:
+            templates.append(windows[0, 0].astype(float))
+    while len(templates) < load.n_templates:
+        templates.append(templates[-1])
+    flags = {node: {0, n_windows - 1} for node in range(n_nodes)}
+
+    engine = QueryEngine(
+        controllers=[node.storage for node in system.nodes],
+        lsh=system.lsh,
+        seizure_flags=flags,
+        telemetry=telemetry,
+    )
+    from repro.apps.queries import QueryCostModel
+
+    server = QueryServer(
+        engine,
+        config=server_config if server_config is not None else ServerConfig(),
+        cost_model=QueryCostModel(
+            n_nodes=n_nodes, electrodes_per_node=electrodes
+        ),
+        telemetry=telemetry,
+    )
+
+    on_advance = None
+    if fault_plan is not None:
+        from repro.faults.health import HealthMonitor
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            system, fault_plan, health=HealthMonitor(n_nodes)
+        )
+
+        def on_advance(t_ms: float) -> None:
+            target_round = int(t_ms // round_ms)
+            while (
+                injector.round_index <= target_round
+                and injector.round_index < fault_plan.n_rounds
+            ):
+                injector.step()
+            server.set_dead_nodes(
+                set(injector.health.dead_nodes) | set(system.dead_node_ids)
+            )
+
+    arrivals = generate_arrivals(load)
+    n_offered, shed = run_open_loop(
+        server,
+        arrivals,
+        (0, n_windows),
+        templates,
+        deadline_ms=load.deadline_ms,
+        on_advance=on_advance,
+    )
+    return server, summarise(server, load.offered_qps, n_offered, shed)

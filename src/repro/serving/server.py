@@ -1,0 +1,372 @@
+"""The fleet-scale query server: admission → coalesce → EDF dispatch.
+
+SCALO's query interface (§3.4, Fig. 10) assumes one caller; this module
+multiplexes many concurrent, deadline-bearing clients onto the PR-4
+batched/cached query path.  :class:`QueryServer` is a discrete-event
+server in **simulated milliseconds**:
+
+* :meth:`submit` stamps an arrival, runs admission control (bounded
+  queue + per-client token bucket, see
+  :mod:`repro.serving.admission`) and either enqueues the request or
+  sheds it with :class:`~repro.errors.QueryRejected`;
+* pending requests with the same *coalesce key* — identical
+  :class:`~repro.apps.queries.QuerySpec`, window range, and template
+  bytes — merge into one **wave** that runs
+  :meth:`~repro.apps.queries.QueryEngine.run` once, so the signature
+  cache and the NVM scan are hit once per wave instead of once per
+  client;
+* waves dispatch **earliest-deadline-first**; a wave's deadline is the
+  earliest deadline among its members, ties break on the lowest request
+  id, so dispatch order is total and deterministic;
+* completion past a request's deadline is answered anyway but counted
+  as a deadline miss (a late answer still beats a lost session);
+* nodes believed dead (fed from the faults/health layer via
+  :meth:`observe_health`) are routed around — responses carry the
+  degraded/coverage tagging of the underlying
+  :class:`~repro.apps.queries.DistributedQueryResult`.
+
+Service time comes from the paper's Fig. 10 cost model
+(:class:`~repro.apps.queries.QueryCostModel`): a wave pays one full
+query latency (scan + filter + transmit + overhead) plus a small
+per-extra-member merge charge.  The server keeps its own ``now_ms``;
+telemetry is observational only, so runs with ``NULL_TELEMETRY`` and
+runs with a live handle produce byte-identical response logs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.queries import (
+    DistributedQueryResult,
+    QueryCostModel,
+    QueryEngine,
+    QuerySpec,
+)
+from repro.errors import ConfigurationError, QueryRejected
+from repro.serving.admission import AdmissionController
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one :class:`QueryServer`."""
+
+    #: bounded admission queue: pending requests beyond this are shed
+    max_queue: int = 16
+    #: merge compatible pending queries into one scan (off = serial)
+    coalesce: bool = True
+    #: per-client token bucket (burst capacity, steady-state rate)
+    bucket_capacity: float = 32.0
+    bucket_refill_per_s: float = 100.0
+    #: deadline assigned when a request does not carry one (relative ms)
+    default_deadline_ms: float = 250.0
+    #: response-assembly charge per coalesced member beyond the first
+    coalesce_merge_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.default_deadline_ms <= 0:
+            raise ConfigurationError("default deadline must be positive")
+        if self.coalesce_merge_ms < 0:
+            raise ConfigurationError("merge charge cannot be negative")
+
+
+@dataclass
+class QueryRequest:
+    """One admitted request waiting in (or dispatched from) the queue."""
+
+    request_id: int
+    client: str
+    spec: QuerySpec
+    window_range: tuple[int, int]
+    template: np.ndarray | None
+    arrival_ms: float
+    deadline_ms: float  # absolute simulated time
+
+    def coalesce_key(self) -> tuple:
+        """Requests with equal keys can share one batched scan."""
+        tpl = self.template.tobytes() if self.template is not None else None
+        return (self.spec, self.window_range, tpl)
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The completion record for one request (the response-log row)."""
+
+    request_id: int
+    client: str
+    kind: str
+    arrival_ms: float
+    start_ms: float
+    finish_ms: float
+    deadline_ms: float
+    wave_id: int
+    wave_size: int
+    n_rows: int
+    rows_crc: int
+    coverage: float
+    degraded: bool
+
+    @property
+    def latency_ms(self) -> float:
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def wait_ms(self) -> float:
+        return self.start_ms - self.arrival_ms
+
+    @property
+    def deadline_missed(self) -> bool:
+        return self.finish_ms > self.deadline_ms
+
+    def log_line(self) -> str:
+        return (
+            f"id={self.request_id:06d} client={self.client} kind={self.kind} "
+            f"arrive={self.arrival_ms:012.3f} start={self.start_ms:012.3f} "
+            f"finish={self.finish_ms:012.3f} wave={self.wave_id:05d}"
+            f"x{self.wave_size:02d} rows={self.n_rows:04d} "
+            f"crc={self.rows_crc:08x} coverage={self.coverage:.3f} "
+            f"miss={int(self.deadline_missed)}"
+        )
+
+
+@dataclass
+class QueryServer:
+    """Multiplexes concurrent clients onto one :class:`QueryEngine`."""
+
+    engine: QueryEngine
+    config: ServerConfig = field(default_factory=ServerConfig)
+    #: Fig. 10 latency model used as the service-time clock; defaults to
+    #: one sized to the engine's fleet
+    cost_model: QueryCostModel | None = None
+    telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cost_model is None:
+            self.cost_model = QueryCostModel(
+                n_nodes=max(1, len(self.engine.controllers))
+            )
+        self.now_ms = 0.0
+        self.max_queue_depth = 0
+        self.responses: list[QueryResponse] = []
+        self._admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            bucket_capacity=self.config.bucket_capacity,
+            bucket_refill_per_s=self.config.bucket_refill_per_s,
+        )
+        self._pending: list[QueryRequest] = []
+        self._results: dict[int, DistributedQueryResult] = {}
+        self._log: list[str] = []
+        self._dead: set[int] = set()
+        self._next_id = 0
+        self._wave_id = 0
+
+    # -- health ------------------------------------------------------------------
+
+    def set_dead_nodes(self, nodes) -> None:
+        """Pin the set of nodes every subsequent wave routes around."""
+        self._dead = set(nodes)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.set_gauge("serving.dead_nodes", len(self._dead))
+
+    def observe_health(self, monitor) -> None:
+        """Adopt a :class:`~repro.faults.health.HealthMonitor` belief."""
+        self.set_dead_nodes(monitor.dead_nodes)
+
+    # -- admission ---------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def submit(
+        self,
+        client: str,
+        spec: QuerySpec,
+        window_range: tuple[int, int],
+        *,
+        template: np.ndarray | None = None,
+        deadline_ms: float | None = None,
+        arrival_ms: float | None = None,
+    ) -> int:
+        """Admit one request; returns its request id.
+
+        ``arrival_ms`` defaults to the server's current simulated time
+        (an open-loop driver passes explicit arrival stamps, which may
+        lag ``now_ms`` while the server is busy).  ``deadline_ms`` is
+        **relative to arrival**; omitted requests get the configured
+        default.
+
+        Raises:
+            QueryRejected: queue full or client over its token rate.
+        """
+        at = self.now_ms if arrival_ms is None else float(arrival_ms)
+        tel = self.telemetry
+        shed = self._admission.admit(client, at, len(self._pending))
+        if shed is not None:
+            reason, retry_after = shed
+            if tel.enabled:
+                tel.inc("serving.shed", kind=spec.kind, reason=reason)
+            self._log.append(
+                f"shed t={at:012.3f} client={client} kind={spec.kind} "
+                f"reason={reason}"
+            )
+            raise QueryRejected(client, reason, retry_after)
+        rel = self.config.default_deadline_ms if deadline_ms is None else deadline_ms
+        if rel <= 0:
+            raise ConfigurationError("deadline must be positive")
+        request = QueryRequest(
+            request_id=self._next_id,
+            client=client,
+            spec=spec,
+            window_range=window_range,
+            template=template,
+            arrival_ms=at,
+            deadline_ms=at + rel,
+        )
+        self._next_id += 1
+        self._pending.append(request)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._pending))
+        if tel.enabled:
+            tel.inc("serving.submitted", kind=spec.kind)
+            tel.set_gauge("serving.queue_depth", len(self._pending))
+        return request.request_id
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _waves(self) -> list[list[QueryRequest]]:
+        """Partition pending requests into dispatchable waves."""
+        if not self.config.coalesce:
+            return [[request] for request in self._pending]
+        groups: dict[tuple, list[QueryRequest]] = {}
+        for request in self._pending:
+            groups.setdefault(request.coalesce_key(), []).append(request)
+        return list(groups.values())
+
+    def _select_wave(self) -> list[QueryRequest] | None:
+        """EDF: earliest member deadline wins; lowest request id breaks ties."""
+        waves = self._waves()
+        if not waves:
+            return None
+        return min(
+            waves,
+            key=lambda wave: (
+                min(r.deadline_ms for r in wave),
+                min(r.request_id for r in wave),
+            ),
+        )
+
+    def _service_ms(self, spec: QuerySpec, wave_size: int) -> float:
+        cost = self.cost_model.cost(spec)
+        return cost.latency_ms + self.config.coalesce_merge_ms * (wave_size - 1)
+
+    def step(self) -> list[QueryResponse]:
+        """Dispatch one wave; empty list when the queue is idle."""
+        wave = self._select_wave()
+        if wave is None:
+            return []
+        lead = wave[0]
+        size = len(wave)
+        start = max(self.now_ms, max(r.arrival_ms for r in wave))
+        service = self._service_ms(lead.spec, size)
+        finish = start + service
+        self._wave_id += 1
+        tel = self.telemetry
+        with tel.span(
+            "serve-wave", kind=lead.spec.kind, wave=self._wave_id, size=size
+        ):
+            result = self.engine.run(
+                lead.spec,
+                lead.window_range,
+                template=lead.template,
+                dead_nodes=set(self._dead),
+            )
+            tel.advance_ms(service)
+        self.now_ms = finish
+        done = {r.request_id for r in wave}
+        self._pending = [r for r in self._pending if r.request_id not in done]
+
+        rows_crc = zlib.crc32(
+            b"".join(
+                f"{n}:{e}:{w}:".encode() + s for n, e, w, s in result.row_keys()
+            )
+        )
+        responses = []
+        for request in wave:
+            response = QueryResponse(
+                request_id=request.request_id,
+                client=request.client,
+                kind=request.spec.kind,
+                arrival_ms=request.arrival_ms,
+                start_ms=start,
+                finish_ms=finish,
+                deadline_ms=request.deadline_ms,
+                wave_id=self._wave_id,
+                wave_size=size,
+                n_rows=len(result.rows),
+                rows_crc=rows_crc,
+                coverage=result.coverage,
+                degraded=result.degraded,
+            )
+            self._results[request.request_id] = result
+            self.responses.append(response)
+            self._log.append(response.log_line())
+            responses.append(response)
+            if tel.enabled:
+                tel.inc("serving.completed", kind=request.spec.kind)
+                tel.observe("serving.latency_ms", response.latency_ms)
+                tel.observe("serving.wait_ms", response.wait_ms)
+                if response.deadline_missed:
+                    tel.inc("serving.deadline_miss", kind=request.spec.kind)
+                if response.degraded:
+                    tel.inc("serving.degraded_responses")
+        if tel.enabled:
+            tel.inc("serving.waves", kind=lead.spec.kind)
+            tel.observe("serving.service_ms", service)
+            if size > 1:
+                tel.inc("serving.coalesced_batches")
+                tel.inc("serving.coalesced_requests", size)
+            tel.set_gauge("serving.queue_depth", len(self._pending))
+        return responses
+
+    def run_until(self, t_ms: float) -> None:
+        """Dispatch waves that can start strictly before ``t_ms``.
+
+        A wave whose start would land at or past ``t_ms`` stays queued:
+        the arrival about to happen at ``t_ms`` may coalesce into it or
+        carry an earlier deadline.  On return the server clock has
+        advanced at least to ``t_ms`` (idle time passes silently).
+        """
+        while True:
+            wave = self._select_wave()
+            if wave is None:
+                break
+            start = max(self.now_ms, max(r.arrival_ms for r in wave))
+            if start >= t_ms:
+                break
+            self.step()
+        self.now_ms = max(self.now_ms, t_ms)
+
+    def drain(self) -> None:
+        """Dispatch every pending wave."""
+        while self.step():
+            pass
+
+    # -- results -----------------------------------------------------------------
+
+    def result_for(self, request_id: int) -> DistributedQueryResult:
+        """The full query answer backing one response."""
+        return self._results[request_id]
+
+    def response_log(self) -> str:
+        """The canonical response/shed log, in event order.
+
+        Byte-identical across runs for the same submissions and fault
+        timeline — the serving determinism contract (telemetry on or
+        off, it never changes a byte here).
+        """
+        return "\n".join(self._log)

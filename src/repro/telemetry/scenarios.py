@@ -247,6 +247,47 @@ def recovery_session(
     return system, result
 
 
+def serving_scenario(
+    telemetry: Telemetry,
+    n_nodes: int = 4,
+    electrodes: int = 8,
+    seed: int = 0,
+) -> Telemetry:
+    """Fleet-scale serving under overload and a mid-run node crash.
+
+    A seeded open-loop load generator offers ~40 QPS of mixed Q1/Q2/Q3
+    traffic to a :class:`~repro.serving.QueryServer` fronting a 4-node
+    fleet; a :class:`~repro.faults.plan.FaultPlan` crashes node 1 two
+    TDMA rounds in, so later waves answer degraded over the survivors.
+    Every admission decision, wave, shed, and deadline miss lands in the
+    ``serving.*`` metrics and ``serve-wave`` spans.
+    """
+    from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+    from repro.serving import LoadGenConfig, serve_session
+
+    plan = FaultPlan(
+        n_nodes=n_nodes,
+        n_rounds=64,
+        seed=seed,
+        events=[FaultEvent(2, 1, FaultKind.NODE_CRASH)],
+    )
+    _, report = serve_session(
+        n_nodes=n_nodes,
+        electrodes=electrodes,
+        seed=seed,
+        load=LoadGenConfig(n_requests=48, offered_qps=40.0, seed=seed),
+        telemetry=telemetry,
+        fault_plan=plan,
+    )
+    telemetry.set_gauge("scenario.completed", report.completed)
+    telemetry.set_gauge("scenario.shed", report.shed)
+    telemetry.set_gauge("scenario.deadline_misses", report.deadline_misses)
+    telemetry.set_gauge("scenario.p99_latency_ms", report.p99_latency_ms)
+    telemetry.set_gauge("scenario.degraded_responses",
+                        report.degraded_responses)
+    return telemetry
+
+
 def recover_scenario(
     telemetry: Telemetry,
     n_nodes: int = 4,
@@ -287,6 +328,11 @@ SCENARIOS: dict[str, Scenario] = {
         "recover",
         "crash + bit-rot, then reboot: replay, scrub, resync, full-coverage Q3",
         lambda tel, seed: recover_scenario(tel, seed=seed),
+    ),
+    "serve": Scenario(
+        "serve",
+        "open-loop query serving under overload with a mid-run node crash",
+        lambda tel, seed: serving_scenario(tel, seed=seed),
     ),
 }
 

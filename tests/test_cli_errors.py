@@ -1,0 +1,56 @@
+"""Malformed CLI invocations must exit 2 with usage, never a traceback.
+
+Every case runs ``python -m repro ...`` in a subprocess — the honest
+user-facing path — and asserts the argparse/ScaloError contract: exit
+code 2, something usage-shaped on stderr, and no stack trace.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _run(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+
+
+BAD_INVOCATIONS = [
+    pytest.param(("trace", "nosuchscenario"), id="trace-unknown-scenario"),
+    pytest.param(("query", "--range", "a:b"), id="query-range-not-integers"),
+    pytest.param(("query", "--range", "07"), id="query-range-no-colon"),
+    pytest.param(("query", "--range", "3:1"), id="query-range-empty"),
+    pytest.param(("query", "--nodes", "0"), id="query-zero-nodes"),
+    pytest.param(("serve", "--qps", "abc"), id="serve-qps-not-a-number"),
+    pytest.param(("serve", "--requests", "-5"), id="serve-negative-requests"),
+    pytest.param(("serve", "--qps", "-1"), id="serve-negative-qps"),
+    pytest.param(("serve", "--queue", "0"), id="serve-zero-queue"),
+    pytest.param(("recover", "--seed", "x"), id="recover-seed-not-an-int"),
+    pytest.param(("nosuchtarget",), id="unknown-target"),
+]
+
+
+@pytest.mark.parametrize("argv", BAD_INVOCATIONS)
+def test_malformed_args_exit_2_without_traceback(argv):
+    proc = _run(*argv)
+    assert proc.returncode == 2, (proc.stdout, proc.stderr)
+    assert "Traceback" not in proc.stderr
+    assert "Traceback" not in proc.stdout
+    # argparse prints usage; the ScaloError path prints error + usage;
+    # the unknown-target path lists the available commands
+    assert ("usage:" in proc.stderr) or ("available commands" in proc.stderr)
+
+
+def test_good_invocation_still_exits_0():
+    proc = _run("list")
+    assert proc.returncode == 0
+    assert "serve" in proc.stdout.split()

@@ -357,3 +357,16 @@ class TestDeprecatedShims:
         assert _row_keys(result) == _row_keys(expected)
         assert result.failed_nodes == expected.failed_nodes
         assert result.queried_nodes == expected.queried_nodes
+
+    def test_execute_warning_points_at_caller(self):
+        """stacklevel=2: the warning names this file, not queries.py."""
+        engine, _ = _fleet()
+        with pytest.warns(DeprecationWarning) as record:
+            engine.execute(QuerySpec("q3", 16.0), (0, 10))
+        assert record[0].filename == __file__
+
+    def test_execute_resilient_warning_points_at_caller(self):
+        engine, _ = _fleet()
+        with pytest.warns(DeprecationWarning) as record:
+            engine.execute_resilient(QuerySpec("q3", 16.0), (0, 10))
+        assert record[0].filename == __file__

@@ -176,3 +176,63 @@ class TestMultiFlow:
         assert breakdown.binding == "power"
         breakdown = analytic_electrodes(mi_kf_task(), 8, 15.0)
         assert breakdown.binding == "nvm"
+
+
+class TestSolutionNonNegativity:
+    """HiGHS roundoff can return -1e-12-ish components; solve() clamps."""
+
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4, 8, 16, 32, 64])
+    @pytest.mark.parametrize("task_factory", ALL_TASKS)
+    def test_allocations_never_negative(self, task_factory, n_nodes):
+        problem = SchedulerProblem(
+            n_nodes=n_nodes, flows=[Flow(task_factory())]
+        )
+        schedule = problem.solve()
+        for alloc in schedule.allocations:
+            assert alloc.electrodes_per_node >= 0.0
+            assert alloc.aggregate_electrodes >= 0.0
+            assert alloc.power_mw_per_node >= 0.0
+            assert alloc.airtime_ms_per_period >= 0.0
+            assert alloc.aggregate_mbps >= 0.0
+        assert schedule.aggregate_mbps >= 0.0
+        assert schedule.network_utilisation >= 0.0
+
+    def test_multi_flow_contended_allocations_never_negative(self):
+        flows = [
+            Flow(seizure_detection_task(), electrode_cap=96),
+            Flow(hash_similarity_task("all_all", net_budget_ms=1.0),
+                 electrode_cap=96),
+            Flow(dtw_similarity_task("one_all", net_budget_ms=4.0),
+                 electrode_cap=96),
+        ]
+        schedule = SchedulerProblem(32, flows, power_budget_mw=6.0).solve()
+        for alloc in schedule.allocations:
+            assert alloc.electrodes_per_node >= 0.0
+            assert alloc.aggregate_electrodes >= 0.0
+            assert alloc.power_mw_per_node >= 0.0
+
+
+class TestSchedulerTelemetry:
+    def test_max_throughput_books_solve_metrics(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        max_throughput_mbps(seizure_detection_task(), 4, 15.0, telemetry=tel)
+        reg = tel.registry
+        assert reg.counter("scheduler.solves") == 1.0
+        hist = reg.histogram("scheduler.ilp_solve_ms")
+        assert hist is not None and hist.n >= 1
+
+    def test_sweep_books_one_solve_per_cell(self):
+        from repro.eval.throughput import fig8b
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        fig8b(node_counts=(1, 2), power_limits=(15.0,), telemetry=tel)
+        # 4 similarity surfaces x 1 power x 2 node counts
+        assert tel.registry.counter("scheduler.solves") == 8.0
+
+    def test_default_is_silent(self):
+        # no telemetry argument: nothing to assert beyond "doesn't blow up",
+        # which is exactly the NULL_TELEMETRY contract
+        assert max_throughput_mbps(seizure_detection_task(), 2, 15.0) > 0
