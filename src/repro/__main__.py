@@ -10,6 +10,8 @@ Usage::
     python -m repro recover             # crash + reboot + resync smoke run
     python -m repro query --nodes 4     # Q1/Q2/Q3 over a live fleet
     python -m repro serve --qps 40      # open-loop load against the server
+    python -m repro serve --fault-plan moderate   # serving under a storm
+    python -m repro chaos --csv out.csv # three-level fault-storm sweep
     python -m repro all                 # everything (slow)
 
 ``trace`` runs a canned scenario with a live telemetry handle, prints
@@ -271,26 +273,69 @@ def _query(args) -> None:
 
 
 def _serve(args) -> None:
-    from repro.api import LoadGenConfig, ServerConfig, Telemetry, serve_session
+    from repro.api import (
+        BrownoutConfig,
+        LoadGenConfig,
+        RetryPolicy,
+        ServerConfig,
+        Telemetry,
+        serve_session,
+    )
     from repro.eval.reporting import span_summary, telemetry_summary
     from repro.telemetry import write_metrics_csv
 
     telemetry = Telemetry()
+    fault_plan = None
+    client_retry = None
+    min_coverage = 0.0
+    retry = None
+    brownout = None
+    n_nodes = 4
+    if args.fault_plan not in (None, "none"):
+        from repro.eval.chaos import FAULT_PRESETS
+
+        # A storm implies the chaos-hardened posture: retries on both
+        # sides, brownout tiers armed, and a coverage SLA one dead node
+        # out of four violates.
+        level = FAULT_PRESETS[args.fault_plan]
+        fault_plan = level.plan(n_nodes, 64, args.seed)
+        retry = RetryPolicy(seed=args.seed)
+        client_retry = RetryPolicy(seed=args.seed + 1)
+        brownout = BrownoutConfig()
+        min_coverage = 0.9
     load = LoadGenConfig(
-        n_requests=args.requests, offered_qps=args.qps, seed=args.seed
+        n_requests=args.requests,
+        offered_qps=args.qps,
+        seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        min_coverage=min_coverage,
     )
-    config = ServerConfig(max_queue=args.queue, coalesce=not args.serial)
+    config = ServerConfig(
+        max_queue=args.queue,
+        coalesce=not args.serial,
+        default_deadline_ms=args.deadline_ms,
+        brownout=brownout,
+        retry=retry,
+        default_min_coverage=min_coverage,
+    )
     _, report = serve_session(
-        n_nodes=4,
+        n_nodes=n_nodes,
         electrodes=8,
         seed=args.seed,
         load=load,
         server_config=config,
         telemetry=telemetry,
+        fault_plan=fault_plan,
+        client_retry=client_retry,
     )
     mode = "serial" if args.serial else "coalesced"
+    storm = (
+        f", {args.fault_plan} fault storm"
+        if fault_plan is not None
+        else ""
+    )
     print(f"-- open-loop serving, {report.offered_qps:.0f} QPS offered, "
-          f"{mode} dispatch (seed {args.seed})\n")
+          f"{mode} dispatch (seed {args.seed}{storm})\n")
     print(f"  offered    {report.n_offered:6d}")
     print(f"  completed  {report.completed:6d}")
     print(f"  shed       {report.shed:6d}  ({report.shed_rate:.1%})")
@@ -303,6 +348,42 @@ def _serve(args) -> None:
           f"p99 {report.p99_latency_ms:7.1f} ms")
     print(f"  max queue  {report.max_queue_depth:6d}")
     print(f"  degraded   {report.degraded_responses:6d}")
+    if fault_plan is not None:
+        print(f"  available  {report.availability:7.1%}")
+        print(f"  retries    client {report.client_retries:d}  "
+              f"server {report.server_retries:d}")
+        print(f"  SLA        {report.sla_violations_initial:d} initial -> "
+              f"{report.sla_violations_final:d} final violations")
+        print(f"  breakers   opened {report.breaker_opened:d}  "
+              f"half-open {report.breaker_half_open:d}  "
+              f"closed {report.breaker_closed:d}")
+        tiers = ", ".join(
+            f"tier{t}={n}" for t, n in sorted(report.brownout_waves.items())
+        )
+        print(f"  brownout   {tiers}  (rejections: "
+              f"{report.brownout_rejections})")
+    print()
+    print(telemetry_summary(telemetry.registry))
+    print()
+    print(span_summary(telemetry.tracer))
+    if args.csv:
+        path = write_metrics_csv(telemetry.registry, args.csv)
+        print(f"\nmetrics CSV written to {path}")
+
+
+def _chaos(args) -> None:
+    from repro.eval.chaos import ChaosConfig, chaos_sweep
+    from repro.eval.reporting import span_summary, telemetry_summary
+    from repro.telemetry import Telemetry, write_metrics_csv
+
+    telemetry = Telemetry()
+    config = ChaosConfig(seed=args.seed)
+    sweep = chaos_sweep(config, telemetry)
+    print(f"-- chaos sweep: {config.n_requests} requests at "
+          f"{config.offered_qps:.0f} QPS over {config.n_nodes} implants, "
+          f"coverage SLA {config.min_coverage:.2f} (seed {config.seed})\n")
+    for line in sweep.table():
+        print(f"  {line}")
     print()
     print(telemetry_summary(telemetry.registry))
     print()
@@ -374,7 +455,23 @@ _COMMANDS: dict[str, Callable] = {
     "recover": _recover,
     "query": _query,
     "serve": _serve,
+    "chaos": _chaos,
 }
+
+
+def _positive_float(text: str) -> float:
+    """Parse a strictly positive float (``--deadline-ms``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        )
+    return value
 
 
 def _window_range(text: str) -> tuple[int, int]:
@@ -423,6 +520,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="admission queue bound for 'serve'")
     parser.add_argument("--serial", action="store_true",
                         help="disable coalescing for 'serve'")
+    parser.add_argument("--deadline-ms", type=_positive_float, default=250.0,
+                        help="relative request deadline for 'serve' "
+                             "(simulated ms)")
+    parser.add_argument("--fault-plan", default=None,
+                        choices=("none", "mild", "moderate", "severe"),
+                        help="replay a fault-storm preset under 'serve' "
+                             "(enables retries/brownout)")
     parser.add_argument("--range", type=_window_range, default=None,
                         metavar="START:STOP",
                         help="window-index range for 'query'")
@@ -436,7 +540,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.target == "all":
             for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export",
                                                  "trace", "recover", "query",
-                                                 "serve"}):
+                                                 "serve", "chaos"}):
                 print(f"\n===== {name} =====")
                 _COMMANDS[name](args)
             return 0

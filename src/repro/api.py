@@ -13,7 +13,11 @@ Many concurrent callers go through the serving layer instead — a
 :class:`~repro.serving.QueryServer` (or the one-call
 :func:`~repro.serving.serve_session`) multiplexes deadline-bearing
 request streams onto the same query path with admission control and
-coalescing.
+coalescing.  The chaos-hardening knobs ride along: a seeded
+:class:`~repro.serving.RetryPolicy` (client- and server-side), per-node
+circuit breakers (:class:`~repro.serving.BreakerConfig`), graded
+brownout tiers (:class:`~repro.serving.BrownoutConfig`), and the
+:func:`~repro.eval.chaos.chaos_sweep` fault-storm harness.
 
 Everything re-exported here is covered by the deprecation policy: the
 deeper module paths may shuffle between releases, ``repro.api`` does not.
@@ -32,8 +36,11 @@ from repro.apps.queries import (
 from repro.core.system import ScaloSystem
 from repro.errors import QueryRejected
 from repro.serving import (
+    BreakerConfig,
+    BrownoutConfig,
     LoadGenConfig,
     QueryServer,
+    RetryPolicy,
     ServeReport,
     ServerConfig,
     serve_session,
@@ -54,8 +61,11 @@ __all__ = [
     "QueryRejected",
     "QueryResultRow",
     "QueryServer",
+    "BreakerConfig",
+    "BrownoutConfig",
     "DistributedQueryResult",
     "LoadGenConfig",
+    "RetryPolicy",
     "ServeReport",
     "ServerConfig",
     "Telemetry",

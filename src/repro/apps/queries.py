@@ -387,6 +387,57 @@ class QueryEngine:
             for pair in pairs
         ]
 
+    def _node_rows_cached(
+        self,
+        node: int,
+        spec: QuerySpec,
+        window_range: tuple[int, int],
+        template_sig: tuple[int, ...] | None,
+    ) -> list[QueryResultRow]:
+        """Metadata-only scan: no NVM reads, rows carry empty samples.
+
+        The brownout path (serving tier 2): Q1 answers from the
+        seizure-flag metadata, Q3 from the stored-window index, and Q2
+        matches **cached** signatures only — windows whose signature is
+        not resident are skipped (counted as ``query.cache_skip``)
+        rather than read and rehashed.  Row identity (node, electrode,
+        window) is exact; sample payloads are empty, which the response
+        checksum treats as zero bytes deterministically.
+        """
+        start, stop = window_range
+        controller = self.controllers[node]
+        flags = self.seizure_flags.get(node, set())
+        tel = self.telemetry
+        pairs = [
+            pair
+            for pair in self._stored_windows(node)
+            if start <= pair[1] < stop
+            and (spec.kind != "q1" or pair[1] in flags)
+        ]
+        if tel.enabled:
+            tel.inc("query.cache_only_windows", len(pairs), kind=spec.kind)
+        if spec.kind == "q2":
+            matched: list[tuple[int, int]] = []
+            skipped = 0
+            for pair in pairs:
+                sig = (
+                    controller.window_signature(*pair)
+                    if spec.use_hash
+                    else None
+                )
+                if sig is None:
+                    skipped += 1  # not resident (or exact-DTW): unanswerable
+                    continue
+                if self.lsh.matches(sig, template_sig):
+                    matched.append(pair)
+            if tel.enabled and skipped:
+                tel.inc("query.cache_skip", skipped)
+            pairs = matched
+        empty = np.empty(0, dtype=np.int16)
+        return [
+            QueryResultRow(node, pair[0], pair[1], empty) for pair in pairs
+        ]
+
     def _node_rows(
         self,
         node: int,
@@ -394,7 +445,10 @@ class QueryEngine:
         window_range: tuple[int, int],
         template: np.ndarray | None,
         template_sig: tuple[int, ...] | None,
+        cache_only: bool = False,
     ) -> list[QueryResultRow]:
+        if cache_only:
+            return self._node_rows_cached(node, spec, window_range, template_sig)
         scan = self._node_rows_batched if self.batched else self._node_rows_scalar
         return scan(node, spec, window_range, template, template_sig)
 
@@ -408,6 +462,7 @@ class QueryEngine:
         template: np.ndarray | None = None,
         dead_nodes: set[int] | None = None,
         node_traces: dict[int, TraceContext | None] | None = None,
+        cache_only: bool = False,
     ) -> DistributedQueryResult:
         """Run a query over window indexes ``[start, stop)`` on all nodes.
 
@@ -418,6 +473,11 @@ class QueryEngine:
         ``failed_nodes`` and the query proceeds — partial answers beat
         lost sessions for interactive use.  Query-spec errors (bad kind,
         missing template) still raise: they are caller bugs, not faults.
+
+        ``cache_only=True`` selects the metadata-only degraded scan used
+        by serving brownouts: row identities without sample payloads,
+        answered entirely from SRAM-resident metadata (see
+        :meth:`_node_rows_cached`).
 
         Each node's scan runs under a ``lookup`` span; ``node_traces``
         (node id -> :class:`~repro.telemetry.TraceContext`) lets a
@@ -439,7 +499,8 @@ class QueryEngine:
                           kind=spec.kind) as span:
                 try:
                     node_rows = self._node_rows(
-                        node, spec, window_range, template, template_sig
+                        node, spec, window_range, template, template_sig,
+                        cache_only=cache_only,
                     )
                 except ScaloError:
                     failed.append(node)

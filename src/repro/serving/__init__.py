@@ -5,8 +5,12 @@ query path: a bounded admission queue with per-client token buckets
 (overload sheds with :class:`~repro.errors.QueryRejected`), micro-batch
 coalescing of compatible queries into one scan per wave, and
 earliest-deadline-first dispatch with deadline-miss accounting — all in
-simulated time, deterministic for a given seed and fault plan.  See
-DESIGN.md "Serving model".
+simulated time, deterministic for a given seed and fault plan.
+
+:mod:`repro.serving.reliability` layers chaos hardening on top:
+seeded retries (client- and server-side), per-node circuit breakers,
+and graded brownout tiers.  See DESIGN.md "Serving model" and
+"Fault-aware serving".
 """
 
 from __future__ import annotations
@@ -17,29 +21,59 @@ from repro.serving.loadgen import (
     Arrival,
     LoadGenConfig,
     ServeReport,
+    final_responses,
     generate_arrivals,
     run_open_loop,
     serve_session,
     summarise,
+)
+from repro.serving.reliability import (
+    TIER_CACHE_ONLY,
+    TIER_HEALTHY,
+    TIER_NAMES,
+    TIER_REDUCED,
+    TIER_REJECT,
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    BrownoutConfig,
+    BrownoutController,
+    CircuitBreaker,
+    RetryPolicy,
 )
 from repro.serving.server import (
     QueryRequest,
     QueryResponse,
     QueryServer,
     ServerConfig,
+    ServingStats,
 )
 
 __all__ = [
     "AdmissionController",
     "Arrival",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "BrownoutConfig",
+    "BrownoutController",
+    "CircuitBreaker",
     "LoadGenConfig",
     "QueryRejected",
     "QueryRequest",
     "QueryResponse",
     "QueryServer",
+    "RetryPolicy",
     "ServeReport",
     "ServerConfig",
+    "ServingStats",
+    "TIER_CACHE_ONLY",
+    "TIER_HEALTHY",
+    "TIER_NAMES",
+    "TIER_REDUCED",
+    "TIER_REJECT",
     "TokenBucket",
+    "final_responses",
     "generate_arrivals",
     "run_open_loop",
     "serve_session",

@@ -9,22 +9,32 @@ drawn from a small pool so compatible queries actually coalesce — and
 the whole timeline is a pure function of the config, so two runs with
 the same seed offer byte-identical load.
 
+Clients can carry a :class:`~repro.serving.reliability.RetryPolicy`:
+a shed request is then re-offered after the larger of the server's
+``retry_after_ms`` hint and the policy's seeded backoff, keeping the
+retried timeline a pure function of the seed.  *Availability* —
+``completed / offered`` over unique requests — is the headline chaos
+metric.
+
 :func:`serve_session` is the everything-wired entry point used by the
-``serve`` CLI/scenario and the benchmark: build a seeded fleet, ingest,
-optionally replay a :class:`~repro.faults.plan.FaultPlan` against it
-while the load runs (the health monitor's belief feeds the server), and
-return the server plus a :class:`ServeReport`.
+``serve``/``chaos`` CLIs, the telemetry scenarios, and the benchmarks:
+build a seeded fleet, ingest, optionally replay a
+:class:`~repro.faults.plan.FaultPlan` against it while the load runs
+(the health monitor's belief feeds the server), and return the server
+plus a :class:`ServeReport`.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.apps.queries import QueryEngine, QuerySpec
 from repro.errors import ConfigurationError, QueryRejected
-from repro.serving.server import QueryServer, ServerConfig
+from repro.serving.reliability import RetryPolicy
+from repro.serving.server import QueryResponse, QueryServer, ServerConfig
 from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 
 
@@ -46,6 +56,8 @@ class LoadGenConfig:
     time_range_ms: float = 110.0
     #: fraction of data matching Q1/Q2 predicates (Q3 ships everything)
     match_fraction: float = 0.05
+    #: coverage SLA stamped on every request (0 = answers always satisfy)
+    min_coverage: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
@@ -56,6 +68,8 @@ class LoadGenConfig:
             raise ConfigurationError("need at least one client")
         if self.n_templates < 1:
             raise ConfigurationError("need at least one template")
+        if not 0 <= self.min_coverage <= 1:
+            raise ConfigurationError("coverage SLA must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -93,7 +107,13 @@ def generate_arrivals(config: LoadGenConfig) -> list[Arrival]:
 
 @dataclass
 class ServeReport:
-    """What one open-loop run did, summarised for tables and gates."""
+    """What one open-loop run did, summarised for tables and gates.
+
+    ``completed`` counts *unique* answered requests; a server-side
+    coverage-SLA re-execution replaces its earlier answer rather than
+    counting twice, and latency/miss statistics are taken over each
+    request's final answer.
+    """
 
     offered_qps: float
     n_offered: int
@@ -107,7 +127,23 @@ class ServeReport:
     p99_latency_ms: float
     max_queue_depth: int
     degraded_responses: int
-    response_log: str = field(repr=False)
+    response_log: str = field(repr=False, default="")
+    #: shed offers the client retried (and which later completed or
+    #: exhausted the policy)
+    client_retries: int = 0
+    #: server-side coverage-SLA re-executions
+    server_retries: int = 0
+    #: responses below their coverage SLA, before/after re-execution
+    sla_violations_initial: int = 0
+    sla_violations_final: int = 0
+    breaker_opened: int = 0
+    breaker_half_open: int = 0
+    breaker_closed: int = 0
+    #: waves served per brownout tier (tier → count)
+    brownout_waves: dict[int, int] = field(default_factory=dict)
+    brownout_rejections: int = 0
+    timeouts_charged: int = 0
+    results_evicted: int = 0
 
     @property
     def shed_rate(self) -> float:
@@ -116,6 +152,11 @@ class ServeReport:
     @property
     def miss_rate(self) -> float:
         return self.deadline_misses / self.completed if self.completed else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Unique requests answered / unique requests offered."""
+        return self.completed / self.n_offered if self.n_offered else 1.0
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -126,29 +167,54 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[rank - 1]
 
 
+def final_responses(server: QueryServer) -> list[QueryResponse]:
+    """Each request's latest answer (re-executions supersede), id-ordered."""
+    final: dict[int, QueryResponse] = {}
+    for response in server.responses:
+        current = final.get(response.request_id)
+        if current is None or response.attempt > current.attempt:
+            final[response.request_id] = response
+    return [final[rid] for rid in sorted(final)]
+
+
 def summarise(
-    server: QueryServer, offered_qps: float, n_offered: int, shed: int
+    server: QueryServer,
+    offered_qps: float,
+    n_offered: int,
+    shed: int,
+    client_retries: int = 0,
 ) -> ServeReport:
     """Fold a finished server's responses into a :class:`ServeReport`."""
-    latencies = sorted(r.latency_ms for r in server.responses)
+    finals = final_responses(server)
+    latencies = sorted(r.latency_ms for r in finals)
     wave_ids = {r.wave_id for r in server.responses}
-    coalesced = sum(
-        1 for r in server.responses if r.wave_size > 1
-    )
+    coalesced = sum(1 for r in finals if r.wave_size > 1)
+    stats = server.stats
     return ServeReport(
         offered_qps=offered_qps,
         n_offered=n_offered,
-        completed=len(server.responses),
+        completed=len(finals),
         shed=shed,
-        deadline_misses=sum(r.deadline_missed for r in server.responses),
+        deadline_misses=sum(r.deadline_missed for r in finals),
         waves=len(wave_ids),
         coalesced_requests=coalesced,
         mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
         p50_latency_ms=_percentile(latencies, 50.0),
         p99_latency_ms=_percentile(latencies, 99.0),
         max_queue_depth=server.max_queue_depth,
-        degraded_responses=sum(r.degraded for r in server.responses),
+        degraded_responses=sum(r.degraded for r in finals),
         response_log=server.response_log(),
+        client_retries=client_retries,
+        server_retries=stats.retries,
+        sla_violations_initial=stats.sla_violations,
+        sla_violations_final=sum(not r.sla_met for r in finals),
+        breaker_opened=stats.breaker_opened,
+        breaker_half_open=stats.breaker_half_open,
+        breaker_closed=stats.breaker_closed,
+        brownout_waves=dict(sorted(stats.brownout_waves.items())),
+        brownout_rejections=stats.brownout_rejections,
+        timeouts_charged=stats.timeouts_charged,
+        results_evicted=stats.results_evicted,
     )
 
 
@@ -159,21 +225,43 @@ def run_open_loop(
     templates: list[np.ndarray],
     *,
     deadline_ms: float = 250.0,
+    min_coverage: float = 0.0,
+    client_retry: RetryPolicy | None = None,
     on_advance=None,
-) -> tuple[int, int]:
+    finalize=None,
+) -> tuple[int, int, int]:
     """Drive one arrival timeline through a server.
 
-    Between arrivals the server dispatches whatever waves can start
-    (``run_until``); ``on_advance(t_ms)`` — called before each arrival
-    and once after the last — lets a caller interleave external
-    timelines (the fault injector's TDMA rounds).  Returns
-    ``(n_offered, n_shed)``; responses accumulate on the server.
+    Between offers the server dispatches whatever waves can start
+    (``run_until``); ``on_advance(t_ms)`` — called before each offer and
+    once after the last — lets a caller interleave external timelines
+    (the fault injector's TDMA rounds).  ``finalize(t_ms)`` runs after
+    the last offer but *before* the final drain, so a chaos driver can
+    play out the rest of its fault plan (letting crashed nodes reboot
+    and parked SLA re-executions reschedule) while requests are still
+    in flight.
+
+    With a ``client_retry`` policy, a shed offer is re-enqueued at the
+    larger of the server's ``retry_after_ms`` hint and the policy's
+    seeded backoff; only offers that exhaust the policy count as shed.
+    Offers pop in global time order, so per-client admission timestamps
+    stay monotonic.  Returns ``(n_offered, n_shed, n_client_retries)``
+    over *unique* arrivals; responses accumulate on the server.
     """
+    heap: list[tuple[float, int, int]] = [
+        (arrival.at_ms, seq, 0) for seq, arrival in enumerate(arrivals)
+    ]
+    heapq.heapify(heap)
     shed = 0
-    for arrival in arrivals:
+    client_retries = 0
+    last_t = 0.0
+    while heap:
+        at, seq, attempt = heapq.heappop(heap)
+        last_t = at
+        arrival = arrivals[seq]
         if on_advance is not None:
-            on_advance(arrival.at_ms)
-        server.run_until(arrival.at_ms)
+            on_advance(at)
+        server.run_until(at)
         template = (
             templates[arrival.template_index % len(templates)]
             if arrival.template_index is not None
@@ -186,14 +274,25 @@ def run_open_loop(
                 window_range,
                 template=template,
                 deadline_ms=deadline_ms,
-                arrival_ms=arrival.at_ms,
+                arrival_ms=at,
+                min_coverage=min_coverage,
             )
-        except QueryRejected:
-            shed += 1
+        except QueryRejected as exc:
+            if client_retry is not None and client_retry.allows(attempt):
+                backoff = max(
+                    float(exc.retry_after_ms),
+                    client_retry.backoff_ms(seq, attempt),
+                )
+                heapq.heappush(heap, (at + backoff, seq, attempt + 1))
+                client_retries += 1
+            else:
+                shed += 1
     if on_advance is not None and arrivals:
-        on_advance(arrivals[-1].at_ms)
+        on_advance(last_t)
+    if finalize is not None:
+        finalize(last_t)
     server.drain()
-    return len(arrivals), shed
+    return len(arrivals), shed, client_retries
 
 
 def serve_session(
@@ -207,6 +306,7 @@ def serve_session(
     telemetry: TelemetryLike = NULL_TELEMETRY,
     fault_plan=None,
     round_ms: float = 50.0,
+    client_retry: RetryPolicy | None = None,
 ) -> tuple[QueryServer, ServeReport]:
     """Build a fleet, offer one seeded load, return server + report.
 
@@ -214,8 +314,11 @@ def serve_session(
     replays it against the system while the load runs — one TDMA round
     per ``round_ms`` of simulated serving time — and the health
     monitor's belief (unioned with ground-truth dead nodes) steers the
-    server's degraded answers.  Same seed + same plan ⇒ byte-identical
-    response log, with or without telemetry attached.
+    server's degraded answers.  After the last offer the remaining plan
+    rounds play out before the final drain, so reboots scheduled past
+    the load's end still trigger coverage-SLA re-execution.  Same seed +
+    same plan ⇒ byte-identical response log, with or without telemetry
+    attached.
     """
     from repro.core.system import ScaloSystem
     from repro.units import WINDOW_SAMPLES
@@ -261,6 +364,7 @@ def serve_session(
     )
 
     on_advance = None
+    finalize = None
     if fault_plan is not None:
         from repro.faults.health import HealthMonitor
         from repro.faults.injector import FaultInjector
@@ -269,6 +373,11 @@ def serve_session(
             system, fault_plan, health=HealthMonitor(n_nodes)
         )
 
+        def _sync_dead() -> None:
+            server.set_dead_nodes(
+                set(injector.health.dead_nodes) | set(system.dead_node_ids)
+            )
+
         def on_advance(t_ms: float) -> None:
             target_round = int(t_ms // round_ms)
             while (
@@ -276,17 +385,25 @@ def serve_session(
                 and injector.round_index < fault_plan.n_rounds
             ):
                 injector.step()
-            server.set_dead_nodes(
-                set(injector.health.dead_nodes) | set(system.dead_node_ids)
-            )
+            _sync_dead()
+
+        def finalize(t_ms: float) -> None:
+            while injector.round_index < fault_plan.n_rounds:
+                injector.step()
+            _sync_dead()
 
     arrivals = generate_arrivals(load)
-    n_offered, shed = run_open_loop(
+    n_offered, shed, client_retries = run_open_loop(
         server,
         arrivals,
         (0, n_windows),
         templates,
         deadline_ms=load.deadline_ms,
+        min_coverage=load.min_coverage,
+        client_retry=client_retry,
         on_advance=on_advance,
+        finalize=finalize,
     )
-    return server, summarise(server, load.offered_qps, n_offered, shed)
+    return server, summarise(
+        server, load.offered_qps, n_offered, shed, client_retries
+    )

@@ -7,8 +7,9 @@ server in **simulated milliseconds**:
 
 * :meth:`submit` stamps an arrival, runs admission control (bounded
   queue + per-client token bucket, see
-  :mod:`repro.serving.admission`) and either enqueues the request or
-  sheds it with :class:`~repro.errors.QueryRejected`;
+  :mod:`repro.serving.admission`), then the brownout gate (tier 3 sheds
+  with reason ``brownout``) and either enqueues the request or sheds it
+  with :class:`~repro.errors.QueryRejected`;
 * pending requests with the same *coalesce key* — identical
   :class:`~repro.apps.queries.QuerySpec`, window range, and template
   bytes — merge into one **wave** that runs
@@ -25,18 +26,39 @@ server in **simulated milliseconds**:
   degraded/coverage tagging of the underlying
   :class:`~repro.apps.queries.DistributedQueryResult`.
 
+Chaos hardening (see :mod:`repro.serving.reliability` and DESIGN.md
+"Fault-aware serving") layers three mechanisms on that pipeline:
+
+* **failed-contribution timeouts** — a node the wave attempts (or has
+  not yet latched out) that cannot contribute charges
+  ``failed_node_timeout_ms`` of extra service time, making fault cost
+  explicit;
+* **per-node circuit breakers** — ``failure_threshold`` consecutive
+  failed contributions latch a node open; latched nodes are skipped
+  without the timeout charge until a half-open probe wave readmits
+  them, so a flapping node stops poisoning wave latency;
+* **brownouts** — queue depth and the recent deadline-miss rate grade
+  service into tiers: full → reduced window range → signature-cache
+  only → reject; the tier is stamped on every response and log row;
+* **coverage-SLA re-execution** — a request whose wave answered below
+  its ``min_coverage`` is parked and deterministically re-executed
+  (bounded :class:`~repro.serving.reliability.RetryPolicy` backoff)
+  once :meth:`set_dead_nodes` observes a node recover.
+
 Service time comes from the paper's Fig. 10 cost model
 (:class:`~repro.apps.queries.QueryCostModel`): a wave pays one full
 query latency (scan + filter + transmit + overhead) plus a small
-per-extra-member merge charge.  The server keeps its own ``now_ms``;
-telemetry is observational only, so runs with ``NULL_TELEMETRY`` and
-runs with a live handle produce byte-identical response logs.
+per-extra-member merge charge, plus the timeout charges above.  The
+server keeps its own ``now_ms``; telemetry is observational only, so
+runs with ``NULL_TELEMETRY`` and runs with a live handle produce
+byte-identical response logs.
 """
 
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -48,6 +70,18 @@ from repro.apps.queries import (
 )
 from repro.errors import ConfigurationError, QueryRejected
 from repro.serving.admission import AdmissionController
+from repro.serving.reliability import (
+    TIER_CACHE_ONLY,
+    TIER_HEALTHY,
+    TIER_NAMES,
+    TIER_REDUCED,
+    TIER_REJECT,
+    BreakerBoard,
+    BreakerConfig,
+    BrownoutConfig,
+    BrownoutController,
+    RetryPolicy,
+)
 from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 
 
@@ -66,12 +100,68 @@ class ServerConfig:
     default_deadline_ms: float = 250.0
     #: response-assembly charge per coalesced member beyond the first
     coalesce_merge_ms: float = 2.0
+    #: extra service time per failed, un-latched node contribution (the
+    #: wave waits this long before declaring the node absent)
+    failed_node_timeout_ms: float = 25.0
+    #: flat service time for a signature-cache-only (tier 2) wave
+    cache_only_service_ms: float = 10.0
+    #: fraction of the window range a tier-1 (reduced) wave still scans
+    reduced_range_fraction: float = 0.5
+    #: completed :class:`~repro.apps.queries.DistributedQueryResult`\ s
+    #: retained for :meth:`QueryServer.result_for` (LRU eviction)
+    result_retention: int = 512
+    #: response/shed log lines retained (oldest dropped first)
+    log_retention: int = 4096
+    #: coverage SLA stamped on requests that do not carry one
+    default_min_coverage: float = 0.0
+    #: per-node circuit breakers (None disables latching entirely)
+    breaker: BreakerConfig | None = field(default_factory=BreakerConfig)
+    #: graded-degradation controller (None = always serve tier 0)
+    brownout: BrownoutConfig | None = None
+    #: server-side coverage-SLA re-execution policy (None = no retries)
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.default_deadline_ms <= 0:
             raise ConfigurationError("default deadline must be positive")
         if self.coalesce_merge_ms < 0:
             raise ConfigurationError("merge charge cannot be negative")
+        if self.failed_node_timeout_ms < 0:
+            raise ConfigurationError("timeout charge cannot be negative")
+        if self.cache_only_service_ms < 0:
+            raise ConfigurationError("cache-only service cannot be negative")
+        if not 0 < self.reduced_range_fraction <= 1:
+            raise ConfigurationError(
+                "reduced-range fraction must be in (0, 1]"
+            )
+        if self.result_retention < 1:
+            raise ConfigurationError("result retention must be positive")
+        if self.log_retention < 1:
+            raise ConfigurationError("log retention must be positive")
+        if not 0 <= self.default_min_coverage <= 1:
+            raise ConfigurationError("coverage SLA must be in [0, 1]")
+
+
+@dataclass
+class ServingStats:
+    """Plain deterministic counters (independent of the telemetry handle).
+
+    The serving determinism contract forbids reading state back from
+    telemetry, so everything the reports and gates need is booked here
+    as well; the ``serving.*`` metrics mirror these numbers when a live
+    handle is attached.
+    """
+
+    retries: int = 0
+    sla_violations: int = 0
+    breaker_opened: int = 0
+    breaker_half_open: int = 0
+    breaker_closed: int = 0
+    timeouts_charged: int = 0
+    results_evicted: int = 0
+    brownout_rejections: int = 0
+    #: waves served at each brownout tier
+    brownout_waves: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -85,6 +175,12 @@ class QueryRequest:
     template: np.ndarray | None
     arrival_ms: float
     deadline_ms: float  # absolute simulated time
+    #: minimum fleet coverage this request's answer must reach
+    min_coverage: float = 0.0
+    #: execution attempt (0 = first; >0 = server-side SLA re-execution)
+    attempt: int = 0
+    #: the relative deadline re-executions are restamped with
+    relative_deadline_ms: float = 250.0
 
     def coalesce_key(self) -> tuple:
         """Requests with equal keys can share one batched scan."""
@@ -109,6 +205,12 @@ class QueryResponse:
     rows_crc: int
     coverage: float
     degraded: bool
+    #: brownout tier the wave served at (0 = full service)
+    tier: int = 0
+    #: execution attempt (>0 = coverage-SLA re-execution)
+    attempt: int = 0
+    #: the coverage SLA this request carried
+    min_coverage: float = 0.0
 
     @property
     def latency_ms(self) -> float:
@@ -122,6 +224,10 @@ class QueryResponse:
     def deadline_missed(self) -> bool:
         return self.finish_ms > self.deadline_ms
 
+    @property
+    def sla_met(self) -> bool:
+        return self.coverage >= self.min_coverage
+
     def log_line(self) -> str:
         return (
             f"id={self.request_id:06d} client={self.client} kind={self.kind} "
@@ -129,7 +235,8 @@ class QueryResponse:
             f"finish={self.finish_ms:012.3f} wave={self.wave_id:05d}"
             f"x{self.wave_size:02d} rows={self.n_rows:04d} "
             f"crc={self.rows_crc:08x} coverage={self.coverage:.3f} "
-            f"miss={int(self.deadline_missed)}"
+            f"miss={int(self.deadline_missed)} tier={self.tier} "
+            f"try={self.attempt} sla={int(self.sla_met)}"
         )
 
 
@@ -152,14 +259,27 @@ class QueryServer:
         self.now_ms = 0.0
         self.max_queue_depth = 0
         self.responses: list[QueryResponse] = []
+        self.stats = ServingStats()
         self._admission = AdmissionController(
             max_queue=self.config.max_queue,
             bucket_capacity=self.config.bucket_capacity,
             bucket_refill_per_s=self.config.bucket_refill_per_s,
         )
+        self.breakers = (
+            BreakerBoard(self.config.breaker)
+            if self.config.breaker is not None
+            else None
+        )
+        self.brownout = (
+            BrownoutController(self.config.brownout)
+            if self.config.brownout is not None
+            else None
+        )
         self._pending: list[QueryRequest] = []
+        self._parked: list[QueryRequest] = []
         self._results: dict[int, DistributedQueryResult] = {}
-        self._log: list[str] = []
+        self._evicted: set[int] = set()
+        self._log: deque[str] = deque(maxlen=self.config.log_retention)
         self._dead: set[int] = set()
         self._next_id = 0
         self._wave_id = 0
@@ -167,21 +287,82 @@ class QueryServer:
     # -- health ------------------------------------------------------------------
 
     def set_dead_nodes(self, nodes) -> None:
-        """Pin the set of nodes every subsequent wave routes around."""
-        self._dead = set(nodes)
+        """Pin the set of nodes every subsequent wave routes around.
+
+        A shrink of the dead set (the health layer or the failover
+        manager reports a node back) is the recovery signal that
+        reschedules parked coverage-SLA re-executions.
+        """
+        new_dead = set(nodes)
+        recovered = self._dead - new_dead
+        self._dead = new_dead
         tel = self.telemetry
         if tel.enabled:
             tel.set_gauge("serving.dead_nodes", len(self._dead))
+        if recovered:
+            if self.breakers is not None:
+                # Recovery evidence outranks the hold-off timer: the
+                # next wave probes the node instead of waiting out an
+                # open breaker that latched while it was down.
+                self.breakers.force_probe(recovered, self.now_ms)
+                self._drain_breaker_events("recovery")
+            self._reschedule_parked()
 
     def observe_health(self, monitor) -> None:
         """Adopt a :class:`~repro.faults.health.HealthMonitor` belief."""
         self.set_dead_nodes(monitor.dead_nodes)
+
+    def _reschedule_parked(self) -> None:
+        """Re-enqueue parked below-SLA requests with jittered backoff."""
+        retry = self.config.retry
+        if retry is None or not self._parked:
+            return
+        parked = sorted(self._parked, key=lambda r: (r.request_id, r.attempt))
+        self._parked = []
+        tel = self.telemetry
+        for request in parked:
+            delay = retry.backoff_ms(request.request_id, request.attempt)
+            arrival = self.now_ms + delay
+            self._pending.append(
+                replace(
+                    request,
+                    arrival_ms=arrival,
+                    deadline_ms=arrival + request.relative_deadline_ms,
+                    attempt=request.attempt + 1,
+                )
+            )
+            self.stats.retries += 1
+            self._log.append(
+                f"retry t={arrival:012.3f} id={request.request_id:06d} "
+                f"try={request.attempt + 1} backoff={delay:.3f}"
+            )
+            if tel.enabled:
+                tel.inc("serving.retries", kind=request.spec.kind)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._pending))
 
     # -- admission ---------------------------------------------------------------
 
     @property
     def queue_depth(self) -> int:
         return len(self._pending)
+
+    def _current_tier(self) -> int:
+        if self.brownout is None:
+            return TIER_HEALTHY
+        return self.brownout.tier(len(self._pending), self.config.max_queue)
+
+    def _shed(
+        self, client: str, spec: QuerySpec, at: float, reason: str,
+        retry_after: float,
+    ) -> QueryRejected:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.inc("serving.shed", kind=spec.kind, reason=reason)
+        self._log.append(
+            f"shed t={at:012.3f} client={client} kind={spec.kind} "
+            f"reason={reason}"
+        )
+        return QueryRejected(client, reason, retry_after)
 
     def submit(
         self,
@@ -192,6 +373,7 @@ class QueryServer:
         template: np.ndarray | None = None,
         deadline_ms: float | None = None,
         arrival_ms: float | None = None,
+        min_coverage: float | None = None,
     ) -> int:
         """Admit one request; returns its request id.
 
@@ -199,26 +381,35 @@ class QueryServer:
         (an open-loop driver passes explicit arrival stamps, which may
         lag ``now_ms`` while the server is busy).  ``deadline_ms`` is
         **relative to arrival**; omitted requests get the configured
-        default.
+        default.  ``min_coverage`` is the request's coverage SLA: an
+        answer below it counts as a violation and (with a configured
+        :class:`~repro.serving.reliability.RetryPolicy`) is re-executed
+        after the fleet recovers.
 
         Raises:
-            QueryRejected: queue full or client over its token rate.
+            QueryRejected: queue full, brownout tier 3, or client over
+                its token rate.
         """
         at = self.now_ms if arrival_ms is None else float(arrival_ms)
-        tel = self.telemetry
         shed = self._admission.admit(client, at, len(self._pending))
         if shed is not None:
-            reason, retry_after = shed
-            if tel.enabled:
-                tel.inc("serving.shed", kind=spec.kind, reason=reason)
-            self._log.append(
-                f"shed t={at:012.3f} client={client} kind={spec.kind} "
-                f"reason={reason}"
+            raise self._shed(client, spec, at, *shed)
+        if self.brownout is not None and self._current_tier() >= TIER_REJECT:
+            self.stats.brownout_rejections += 1
+            raise self._shed(
+                client, spec, at, "brownout",
+                self.brownout.config.retry_after_ms,
             )
-            raise QueryRejected(client, reason, retry_after)
         rel = self.config.default_deadline_ms if deadline_ms is None else deadline_ms
         if rel <= 0:
             raise ConfigurationError("deadline must be positive")
+        sla = (
+            self.config.default_min_coverage
+            if min_coverage is None
+            else float(min_coverage)
+        )
+        if not 0 <= sla <= 1:
+            raise ConfigurationError("coverage SLA must be in [0, 1]")
         request = QueryRequest(
             request_id=self._next_id,
             client=client,
@@ -227,10 +418,13 @@ class QueryServer:
             template=template,
             arrival_ms=at,
             deadline_ms=at + rel,
+            min_coverage=sla,
+            relative_deadline_ms=rel,
         )
         self._next_id += 1
         self._pending.append(request)
         self.max_queue_depth = max(self.max_queue_depth, len(self._pending))
+        tel = self.telemetry
         if tel.enabled:
             tel.inc("serving.submitted", kind=spec.kind)
             tel.set_gauge("serving.queue_depth", len(self._pending))
@@ -260,9 +454,34 @@ class QueryServer:
             ),
         )
 
-    def _service_ms(self, spec: QuerySpec, wave_size: int) -> float:
-        cost = self.cost_model.cost(spec)
-        return cost.latency_ms + self.config.coalesce_merge_ms * (wave_size - 1)
+    def _reduced_range(
+        self, window_range: tuple[int, int]
+    ) -> tuple[tuple[int, int], float]:
+        """Tier-1 degradation: keep the most recent fraction of the range."""
+        start, stop = window_range
+        span = max(1, stop - start)
+        keep = max(1, int(np.ceil(span * self.config.reduced_range_fraction)))
+        return (stop - keep, stop), keep / span
+
+    def _drain_breaker_events(self, tier_label: str) -> None:
+        """Book breaker transitions into stats and telemetry."""
+        assert self.breakers is not None
+        tel = self.telemetry
+        for node, when, src, dst in self.breakers.pop_events():
+            if dst == "open":
+                self.stats.breaker_opened += 1
+            elif dst == "half_open":
+                self.stats.breaker_half_open += 1
+            elif dst == "closed":
+                self.stats.breaker_closed += 1
+            if tel.enabled:
+                metric = "opened" if dst == "open" else dst
+                tel.inc(f"serving.breaker.{metric}", node=node)
+                with tel.span(
+                    "breaker-transition", node=node, src=src, dst=dst,
+                    tier=tier_label,
+                ):
+                    pass
 
     def step(self) -> list[QueryResponse]:
         """Dispatch one wave; empty list when the queue is idle."""
@@ -272,23 +491,67 @@ class QueryServer:
         lead = wave[0]
         size = len(wave)
         start = max(self.now_ms, max(r.arrival_ms for r in wave))
-        service = self._service_ms(lead.spec, size)
-        finish = start + service
-        self._wave_id += 1
+
+        # Brownout tier for this wave (tier 3 only gates new admissions;
+        # an already-admitted wave degrades to cache-only instead).
+        tier = min(self._current_tier(), TIER_CACHE_ONLY)
+        cache_only = tier == TIER_CACHE_ONLY
+
+        exec_range = lead.window_range
+        service_spec = lead.spec
+        if tier == TIER_REDUCED:
+            exec_range, kept = self._reduced_range(lead.window_range)
+            service_spec = replace(
+                lead.spec, time_range_ms=lead.spec.time_range_ms * kept
+            )
+
+        # Circuit breakers: latched nodes are excluded without a timeout
+        # charge; half-open probes rejoin the attempt set here.
+        all_nodes = list(range(len(self.engine.controllers)))
+        latched: set[int] = set()
+        if self.breakers is not None and not cache_only:
+            _, latched = self.breakers.partition(all_nodes, start)
+        exclude = self._dead | latched
+
         tel = self.telemetry
+        self._wave_id += 1
         with tel.span(
-            "serve-wave", kind=lead.spec.kind, wave=self._wave_id, size=size
+            "serve-wave", kind=lead.spec.kind, wave=self._wave_id, size=size,
+            tier=TIER_NAMES[tier],
         ):
             result = self.engine.run(
                 lead.spec,
-                lead.window_range,
+                exec_range,
                 template=lead.template,
-                dead_nodes=set(self._dead),
+                dead_nodes=exclude,
+                cache_only=cache_only,
             )
+            failed = set(result.failed_nodes)
+            if cache_only:
+                timeout_nodes: list[int] = []
+                service = self.config.cache_only_service_ms
+            else:
+                timeout_nodes = sorted(failed - latched)
+                service = self.cost_model.cost(service_spec).latency_ms
+                service += self.config.failed_node_timeout_ms * len(
+                    timeout_nodes
+                )
+            service += self.config.coalesce_merge_ms * (size - 1)
+            if self.breakers is not None and not cache_only:
+                for node in timeout_nodes:
+                    self.breakers.breaker(node).record_failure(start)
+                for node in result.queried_nodes:
+                    self.breakers.breaker(node).record_success(start)
+                self._drain_breaker_events(TIER_NAMES[tier])
+            self.stats.timeouts_charged += len(timeout_nodes)
             tel.advance_ms(service)
+        finish = start + service
         self.now_ms = finish
         done = {r.request_id for r in wave}
         self._pending = [r for r in self._pending if r.request_id not in done]
+        self.stats.brownout_waves[tier] = (
+            self.stats.brownout_waves.get(tier, 0) + 1
+        )
 
         rows_crc = zlib.crc32(
             b"".join(
@@ -311,11 +574,24 @@ class QueryServer:
                 rows_crc=rows_crc,
                 coverage=result.coverage,
                 degraded=result.degraded,
+                tier=tier,
+                attempt=request.attempt,
+                min_coverage=request.min_coverage,
             )
-            self._results[request.request_id] = result
+            self._store_result(request.request_id, result)
             self.responses.append(response)
             self._log.append(response.log_line())
             responses.append(response)
+            if self.brownout is not None:
+                self.brownout.record_completion(response.deadline_missed)
+            if not response.sla_met:
+                self.stats.sla_violations += 1
+                if tel.enabled:
+                    tel.inc("serving.sla_violation", kind=request.spec.kind)
+                if self.config.retry is not None and self.config.retry.allows(
+                    request.attempt
+                ):
+                    self._parked.append(request)
             if tel.enabled:
                 tel.inc("serving.completed", kind=request.spec.kind)
                 tel.observe("serving.latency_ms", response.latency_ms)
@@ -326,7 +602,10 @@ class QueryServer:
                     tel.inc("serving.degraded_responses")
         if tel.enabled:
             tel.inc("serving.waves", kind=lead.spec.kind)
+            tel.inc("serving.brownout.waves", tier=TIER_NAMES[tier])
             tel.observe("serving.service_ms", service)
+            if timeout_nodes:
+                tel.inc("serving.timeouts", len(timeout_nodes))
             if size > 1:
                 tel.inc("serving.coalesced_batches")
                 tel.inc("serving.coalesced_requests", size)
@@ -358,15 +637,48 @@ class QueryServer:
 
     # -- results -----------------------------------------------------------------
 
+    def _store_result(
+        self, request_id: int, result: DistributedQueryResult
+    ) -> None:
+        """Retain one result, evicting least-recently-used past the bound."""
+        self._results.pop(request_id, None)
+        self._results[request_id] = result
+        self._evicted.discard(request_id)
+        while len(self._results) > self.config.result_retention:
+            evicted_id = next(iter(self._results))
+            del self._results[evicted_id]
+            self._evicted.add(evicted_id)
+            self.stats.results_evicted += 1
+            if self.telemetry.enabled:
+                self.telemetry.inc("serving.results.evicted")
+
     def result_for(self, request_id: int) -> DistributedQueryResult:
-        """The full query answer backing one response."""
-        return self._results[request_id]
+        """The full query answer backing one response.
+
+        Raises:
+            KeyError: the id was never completed, or its result aged out
+                of the ``result_retention`` LRU bound.
+        """
+        result = self._results.get(request_id)
+        if result is None:
+            if request_id in self._evicted:
+                raise KeyError(
+                    f"result for request {request_id} was evicted "
+                    f"(result_retention={self.config.result_retention}; "
+                    "raise ServerConfig.result_retention to keep more)"
+                )
+            raise KeyError(f"no completed request with id {request_id}")
+        # LRU refresh: re-insert at the most-recently-used position.
+        del self._results[request_id]
+        self._results[request_id] = result
+        return result
 
     def response_log(self) -> str:
-        """The canonical response/shed log, in event order.
+        """The canonical response/shed/retry log, in event order.
 
         Byte-identical across runs for the same submissions and fault
         timeline — the serving determinism contract (telemetry on or
-        off, it never changes a byte here).
+        off, it never changes a byte here).  Bounded to the newest
+        ``log_retention`` lines.
         """
         return "\n".join(self._log)

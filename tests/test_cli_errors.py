@@ -34,6 +34,15 @@ BAD_INVOCATIONS = [
     pytest.param(("serve", "--requests", "-5"), id="serve-negative-requests"),
     pytest.param(("serve", "--qps", "-1"), id="serve-negative-qps"),
     pytest.param(("serve", "--queue", "0"), id="serve-zero-queue"),
+    pytest.param(("serve", "--seed", "x"), id="serve-seed-not-an-int"),
+    pytest.param(("serve", "--deadline-ms", "0"), id="serve-zero-deadline"),
+    pytest.param(("serve", "--deadline-ms", "-10"),
+                 id="serve-negative-deadline"),
+    pytest.param(("serve", "--deadline-ms", "abc"),
+                 id="serve-deadline-not-a-number"),
+    pytest.param(("serve", "--fault-plan", "apocalypse"),
+                 id="serve-unknown-fault-plan"),
+    pytest.param(("chaos", "--seed", "x"), id="chaos-seed-not-an-int"),
     pytest.param(("recover", "--seed", "x"), id="recover-seed-not-an-int"),
     pytest.param(("nosuchtarget",), id="unknown-target"),
 ]

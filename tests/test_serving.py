@@ -392,6 +392,34 @@ class TestServeCLI:
         assert "open-loop serving" in proc.stdout
         assert csv.exists()
 
+    def test_serve_fault_plan_preset_runs_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--qps", "40", "--requests", "24", "--seed", "2",
+             "--deadline-ms", "300", "--fault-plan", "mild"],
+            capture_output=True, text=True, timeout=300,
+            env=_repro_env(),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "mild fault storm" in proc.stdout
+        assert "breakers" in proc.stdout
+        assert "SLA" in proc.stdout
+
+    def test_chaos_subcommand_runs_clean(self, tmp_path):
+        csv = tmp_path / "chaos.csv"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "chaos", "--csv", str(csv)],
+            capture_output=True, text=True, timeout=600,
+            env=_repro_env(),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "chaos sweep" in proc.stdout
+        assert "all chaos gates pass" in proc.stdout
+        text = csv.read_text()
+        assert "serving.retries" in text
+        assert "serving.breaker.opened" in text
+        assert "serving.brownout.waves" in text
+
 
 def _repro_env():
     import os
