@@ -12,12 +12,19 @@ Usage::
     python -m repro serve --qps 40      # open-loop load against the server
     python -m repro serve --fault-plan moderate   # serving under a storm
     python -m repro chaos --csv out.csv # three-level fault-storm sweep
+    python -m repro health moderate     # SLO verdicts + incident bundles
     python -m repro all                 # everything (slow)
 
 ``trace`` runs a canned scenario with a live telemetry handle, prints
 the metrics/span summary tables, and with ``--export out.trace.json``
 writes a Chrome trace-event file loadable in Perfetto or
 ``chrome://tracing``.
+
+``health`` replays one fault storm with a
+:class:`~repro.telemetry.health.HealthEngine` attached and prints the
+SLO scoreboard, fired burn-rate alerts, anomalies, and incident
+bundles; ``--health-report out.json`` (also accepted by ``serve`` and
+``chaos``) writes the full verdict as JSON.
 """
 
 from __future__ import annotations
@@ -272,6 +279,81 @@ def _query(args) -> None:
     print(f"\n  batched windows scanned: {scanned:.0f}")
 
 
+def _write_health_report(path: str, doc: dict):
+    """Write one health-verdict JSON document (ScaloError on failure)."""
+    import json
+    import pathlib
+
+    from repro.errors import ConfigurationError
+
+    target = pathlib.Path(path)
+    try:
+        target.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot write health report to {path!r}: {exc}"
+        ) from None
+    return target
+
+
+def _print_health_summary(report: dict) -> None:
+    """The human view of one :meth:`HealthEngine.report` document."""
+    print("health:")
+    for slo in report["slos"]:
+        verdict = "met    " if slo["met"] else "MISSED "
+        print(f"  {slo['slo']:24s} {verdict} "
+              f"attainment {slo['attainment']:7.2%}  "
+              f"objective {slo['objective']:.2%}  "
+              f"alerts {slo['alerts_fired']}")
+    for alert in report["alerts"]:
+        print(f"  ALERT {alert['message']}")
+    if report["anomalies"]:
+        print(f"  anomalies: {len(report['anomalies'])} flagged "
+              "(rate excursions vs EWMA band)")
+    for bundle in report["incidents"]:
+        alert = bundle["alert"]
+        print(f"  incident {bundle['incident']}: {alert['severity']}-burn "
+              f"{alert['slo']} at round {alert['round']} — "
+              f"{len(bundle['entries'])} recorder entries, "
+              f"{len(bundle['spans'])} spans")
+
+
+def _health(args) -> None:
+    from repro.errors import ConfigurationError
+    from repro.eval.chaos import FAULT_PRESETS, ChaosConfig, run_storm
+    from repro.telemetry import Telemetry
+    from repro.telemetry.health import HealthEngine
+
+    name = args.scenario or "moderate"
+    level = FAULT_PRESETS.get(name)
+    if level is None:
+        raise ConfigurationError(
+            f"unknown storm {name!r}; available: mild, moderate, severe"
+        )
+    telemetry = Telemetry()
+    health = HealthEngine(telemetry)
+    config = ChaosConfig(seed=args.seed)
+    result = run_storm(level, config, telemetry, health=health)
+    report = result.health
+    r = result.report
+    print(f"-- fleet health under the {name} storm "
+          f"(seed {args.seed}, {report['rounds_observed']} TDMA rounds)\n")
+    print(f"  availability {r.availability:7.2%}   "
+          f"SLA {r.sla_violations_initial} initial -> "
+          f"{r.sla_violations_final} final violations   "
+          f"p99 {r.p99_latency_ms:.1f} ms\n")
+    _print_health_summary(report)
+    verdict = "healthy" if report["healthy"] else "NOT healthy"
+    print(f"\n  verdict: {verdict} "
+          f"({len(report['alerts'])} alerts, "
+          f"{len(report['incidents'])} incidents)")
+    if args.health_report:
+        path = _write_health_report(
+            args.health_report, {"storm": name, **report, "row": result.row()}
+        )
+        print(f"\nhealth report written to {path}")
+
+
 def _serve(args) -> None:
     from repro.api import (
         BrownoutConfig,
@@ -283,8 +365,10 @@ def _serve(args) -> None:
     )
     from repro.eval.reporting import span_summary, telemetry_summary
     from repro.telemetry import write_metrics_csv
+    from repro.telemetry.health import HealthEngine
 
     telemetry = Telemetry()
+    health = HealthEngine(telemetry)
     fault_plan = None
     client_retry = None
     min_coverage = 0.0
@@ -327,6 +411,7 @@ def _serve(args) -> None:
         telemetry=telemetry,
         fault_plan=fault_plan,
         client_retry=client_retry,
+        health=health,
     )
     mode = "serial" if args.serial else "coalesced"
     storm = (
@@ -363,12 +448,17 @@ def _serve(args) -> None:
         print(f"  brownout   {tiers}  (rejections: "
               f"{report.brownout_rejections})")
     print()
+    _print_health_summary(health.report())
+    print()
     print(telemetry_summary(telemetry.registry))
     print()
     print(span_summary(telemetry.tracer))
     if args.csv:
         path = write_metrics_csv(telemetry.registry, args.csv)
         print(f"\nmetrics CSV written to {path}")
+    if args.health_report:
+        path = _write_health_report(args.health_report, health.report())
+        print(f"\nhealth report written to {path}")
 
 
 def _chaos(args) -> None:
@@ -391,6 +481,9 @@ def _chaos(args) -> None:
     if args.csv:
         path = write_metrics_csv(telemetry.registry, args.csv)
         print(f"\nmetrics CSV written to {path}")
+    if args.health_report:
+        path = _write_health_report(args.health_report, sweep.health_report())
+        print(f"\nhealth report written to {path}")
 
 
 def _export(args) -> None:
@@ -456,6 +549,7 @@ _COMMANDS: dict[str, Callable] = {
     "query": _query,
     "serve": _serve,
     "chaos": _chaos,
+    "health": _health,
 }
 
 
@@ -472,6 +566,26 @@ def _positive_float(text: str) -> float:
             f"expected a positive number, got {text!r}"
         )
     return value
+
+
+def _writable_path(text: str) -> str:
+    """Reject report paths whose parent directory does not exist.
+
+    Validated at parse time so a typo fails in milliseconds with usage,
+    not after a multi-minute sweep has already run.
+    """
+    import pathlib
+
+    parent = pathlib.Path(text).parent
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"directory {str(parent)!r} does not exist"
+        )
+    if not text or text.endswith(("/", ".")):
+        raise argparse.ArgumentTypeError(
+            f"expected a file path, got {text!r}"
+        )
+    return text
 
 
 def _window_range(text: str) -> tuple[int, int]:
@@ -498,7 +612,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("target", help="'list', 'all', or one of: "
                         + ", ".join(sorted(set(_COMMANDS))))
     parser.add_argument("scenario", nargs="?", default=None,
-                        help="scenario name for 'trace' (default: seizure)")
+                        help="scenario name for 'trace' (default: seizure); "
+                             "storm level for 'health' (default: moderate)")
     parser.add_argument("--nodes", type=int, default=11)
     parser.add_argument("--power", type=float, default=15.0)
     parser.add_argument("--pairs", type=int, default=300)
@@ -530,6 +645,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--range", type=_window_range, default=None,
                         metavar="START:STOP",
                         help="window-index range for 'query'")
+    parser.add_argument("--health-report", type=_writable_path, default=None,
+                        metavar="PATH",
+                        help="write the SLO verdict + incident bundles as "
+                             "JSON ('serve', 'chaos', 'health')")
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -540,7 +659,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.target == "all":
             for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export",
                                                  "trace", "recover", "query",
-                                                 "serve", "chaos"}):
+                                                 "serve", "chaos", "health"}):
                 print(f"\n===== {name} =====")
                 _COMMANDS[name](args)
             return 0

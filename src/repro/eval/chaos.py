@@ -42,6 +42,7 @@ from repro.serving import (
     serve_session,
 )
 from repro.telemetry import NULL_TELEMETRY, TelemetryLike
+from repro.telemetry.health import HealthEngine
 
 # -- storm levels --------------------------------------------------------------
 
@@ -128,6 +129,14 @@ MODERATE_MAX_FINAL_SLA_VIOLATIONS = 0
 #: Measured ≈ 418 ms at the default seed; the bound leaves ~2.4x
 #: headroom for storm-level retuning without masking a regression.
 SEVERE_P99_BOUND_MS = 1000.0
+#: mild storm, SLO verdict: a fleet must ride out one rebooting crash
+#: without waking anyone (its peak coverage burn is ~2.9x budget,
+#: under the 4.5x fast-burn threshold — see DEFAULT_SERVING_SLOS)
+MILD_MAX_ALERTS = 0
+#: moderate storm, SLO verdict: the second coverage excursion (~6.7x
+#: budget over the fast window) must fire a fast-burn alert and
+#: snapshot an incident bundle
+MODERATE_MIN_FAST_BURN_ALERTS = 1
 
 
 # -- the sweep -----------------------------------------------------------------
@@ -197,6 +206,9 @@ class StormResult:
     breaker_transitions: list[tuple[int, float, str, str]] = field(
         default_factory=list
     )
+    #: :meth:`HealthEngine.report` for this storm (None without live
+    #: telemetry — the health engine needs a registry to observe)
+    health: dict | None = None
 
     def row(self) -> dict:
         """The BENCH/table view of this storm level."""
@@ -232,10 +244,21 @@ def run_storm(
     level: StormLevel,
     config: ChaosConfig | None = None,
     telemetry: TelemetryLike = NULL_TELEMETRY,
+    health: HealthEngine | None = None,
 ) -> StormResult:
-    """Serve one seeded load through one storm level's fault plan."""
+    """Serve one seeded load through one storm level's fault plan.
+
+    With live telemetry a :class:`HealthEngine` (a fresh one per storm
+    unless the caller passes its own) watches the run: its SLO burn
+    rates, anomalies, and incident bundles land in the result's
+    ``health`` report, and its flight recorder collects the storm's
+    breaker/brownout/shed evidence.  The engine is observational, so
+    the response log stays byte-identical either way.
+    """
     config = config if config is not None else ChaosConfig()
     plan = level.plan(config.n_nodes, config.n_rounds, config.seed)
+    if health is None and telemetry.enabled:
+        health = HealthEngine(telemetry)
     server, report = serve_session(
         n_nodes=config.n_nodes,
         electrodes=config.electrodes,
@@ -247,6 +270,7 @@ def run_storm(
         fault_plan=plan,
         round_ms=config.round_ms,
         client_retry=config.client_retry(),
+        health=health,
     )
     transitions = (
         server.breakers.transition_log() if server.breakers is not None else []
@@ -254,6 +278,7 @@ def run_storm(
     return StormResult(
         level=level, plan=plan, report=report,
         breaker_transitions=transitions,
+        health=health.report() if health is not None else None,
     )
 
 
@@ -292,6 +317,38 @@ class ChaosReport:
                 f"severe p99 {severe.p99_latency_ms:.1f} ms > "
                 f"{SEVERE_P99_BOUND_MS} ms"
             )
+        failures.extend(self.slo_gate_failures())
+        return failures
+
+    def slo_gate_failures(self) -> list[str]:
+        """The chaos gates re-expressed as SLO verdicts.
+
+        Evaluated only when the sweep ran with live telemetry (the
+        health engine needs a registry to observe): the mild storm must
+        fire zero burn-rate alerts, and the moderate storm's coverage
+        excursion must fire a fast-burn alert with an incident bundle
+        capturing the evidence.
+        """
+        failures = []
+        mild = self.result("mild").health
+        if mild is not None and len(mild["alerts"]) > MILD_MAX_ALERTS:
+            failures.append(
+                f"mild storm fired {len(mild['alerts'])} alerts > "
+                f"{MILD_MAX_ALERTS} (a fleet must ride out one "
+                "rebooting crash)"
+            )
+        moderate = self.result("moderate").health
+        if moderate is not None:
+            fast = [a for a in moderate["alerts"] if a["severity"] == "fast"]
+            if len(fast) < MODERATE_MIN_FAST_BURN_ALERTS:
+                failures.append(
+                    "moderate storm fired no fast-burn alert "
+                    "(the second coverage excursion must page)"
+                )
+            if len(moderate["incidents"]) < len(moderate["alerts"]):
+                failures.append(
+                    "moderate storm alerts missing incident bundles"
+                )
         return failures
 
     @property
@@ -305,6 +362,23 @@ class ChaosReport:
                 MODERATE_MAX_FINAL_SLA_VIOLATIONS
             ),
             "severe_p99_max_ms": SEVERE_P99_BOUND_MS,
+            "mild_alerts_max": MILD_MAX_ALERTS,
+            "moderate_fast_burn_alerts_min": MODERATE_MIN_FAST_BURN_ALERTS,
+        }
+
+    def health_report(self) -> dict:
+        """The ``--health-report`` JSON: verdicts + per-storm evidence."""
+        storms = {}
+        for result in self.results:
+            entry: dict = {"row": result.row()}
+            if result.health is not None:
+                entry["health"] = result.health
+            storms[result.level.name] = entry
+        return {
+            "gates": self.gates(),
+            "gate_failures": self.gate_failures(),
+            "passed": self.passed,
+            "storms": storms,
         }
 
     def table(self) -> list[str]:

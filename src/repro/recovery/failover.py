@@ -53,6 +53,8 @@ class FailoverManager:
     flows: list = field(default_factory=list)
     journal: WriteAheadJournal = field(default_factory=WriteAheadJournal)
     history: list[FailoverEvent] = field(default_factory=list)
+    #: optional flight recorder fed handover events (observational)
+    recorder: object | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.coordinator = self._elect()
@@ -113,6 +115,14 @@ class FailoverManager:
                 except SchedulingError:
                     self.last_schedule = None
         tel.inc("recovery.failovers")
+        tel.instant("failover-handover", old=old, new=new)
         event = FailoverEvent(old, new, restored_seq)
         self.history.append(event)
+        if self.recorder is not None:
+            clock = getattr(tel, "clock", None)
+            self.recorder.record(
+                "failover",
+                clock.now_ms if clock is not None else 0.0,
+                old=old, new=new, restored_seq=restored_seq,
+            )
         return event

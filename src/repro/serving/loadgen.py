@@ -307,8 +307,17 @@ def serve_session(
     fault_plan=None,
     round_ms: float = 50.0,
     client_retry: RetryPolicy | None = None,
+    health=None,
 ) -> tuple[QueryServer, ServeReport]:
     """Build a fleet, offer one seeded load, return server + report.
+
+    ``health`` accepts a
+    :class:`~repro.telemetry.health.HealthEngine`: its flight recorder
+    is attached to the server (breaker/brownout/shed evidence) and the
+    engine samples the registry at every TDMA round of the load, so SLO
+    burn rates, anomalies, and incident bundles accumulate as the run
+    progresses.  The engine is observational — attaching one never
+    changes the response log.
 
     With a ``fault_plan``, a :class:`~repro.faults.injector.FaultInjector`
     replays it against the system while the load runs — one TDMA round
@@ -392,6 +401,20 @@ def serve_session(
                 injector.step()
             _sync_dead()
 
+    if health is not None and health.enabled:
+        health.attach_server(server)
+        inner_advance, inner_finalize = on_advance, finalize
+
+        def on_advance(t_ms: float) -> None:
+            if inner_advance is not None:
+                inner_advance(t_ms)
+            health.observe_to(t_ms)
+
+        def finalize(t_ms: float) -> None:
+            if inner_finalize is not None:
+                inner_finalize(t_ms)
+            health.observe_to(t_ms)
+
     arrivals = generate_arrivals(load)
     n_offered, shed, client_retries = run_open_loop(
         server,
@@ -404,6 +427,8 @@ def serve_session(
         on_advance=on_advance,
         finalize=finalize,
     )
+    if health is not None:
+        health.finalize(server.now_ms)
     return server, summarise(
         server, load.offered_qps, n_offered, shed, client_retries
     )

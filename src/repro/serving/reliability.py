@@ -275,6 +275,9 @@ class BrownoutController:
 
     config: BrownoutConfig = field(default_factory=BrownoutConfig)
     _recent_misses: list[bool] = field(default_factory=list)
+    #: tier transition log, ``(t_ms, old_tier, new_tier)`` — appended by
+    #: the server at wave dispatch, consumed by health/export tooling
+    transitions: list[tuple[float, int, int]] = field(default_factory=list)
 
     def record_completion(self, missed: bool) -> None:
         self._recent_misses.append(missed)

@@ -250,6 +250,10 @@ class QueryServer:
     #: one sized to the engine's fleet
     cost_model: QueryCostModel | None = None
     telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
+    #: optional :class:`~repro.telemetry.health.FlightRecorder` fed
+    #: breaker/brownout/shed transitions (attached by a HealthEngine;
+    #: append-only, so it cannot perturb the response log)
+    recorder: object | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.cost_model is None:
@@ -283,6 +287,7 @@ class QueryServer:
         self._dead: set[int] = set()
         self._next_id = 0
         self._wave_id = 0
+        self._last_tier = TIER_HEALTHY
 
     # -- health ------------------------------------------------------------------
 
@@ -358,6 +363,10 @@ class QueryServer:
         tel = self.telemetry
         if tel.enabled:
             tel.inc("serving.shed", kind=spec.kind, reason=reason)
+        if self.recorder is not None:
+            self.recorder.record(
+                "shed", at, client=client, query=spec.kind, reason=reason
+            )
         self._log.append(
             f"shed t={at:012.3f} client={client} kind={spec.kind} "
             f"reason={reason}"
@@ -474,14 +483,35 @@ class QueryServer:
                 self.stats.breaker_half_open += 1
             elif dst == "closed":
                 self.stats.breaker_closed += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    "breaker", when, node=node, src=src, dst=dst,
+                    tier=tier_label,
+                )
             if tel.enabled:
                 metric = "opened" if dst == "open" else dst
                 tel.inc(f"serving.breaker.{metric}", node=node)
-                with tel.span(
+                tel.instant(
                     "breaker-transition", node=node, src=src, dst=dst,
                     tier=tier_label,
-                ):
-                    pass
+                )
+
+    def _note_tier_change(self, src: int, dst: int, at: float) -> None:
+        """Book one brownout tier transition (observational only)."""
+        if self.brownout is not None:
+            self.brownout.transitions.append((at, src, dst))
+        if self.recorder is not None:
+            self.recorder.record(
+                "brownout", at, src=TIER_NAMES[src], dst=TIER_NAMES[dst],
+            )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.instant(
+                "brownout-transition",
+                src=TIER_NAMES[src], dst=TIER_NAMES[dst],
+            )
+            tel.instant("brownout-tier", counter=True, tier=dst)
+            tel.set_gauge("serving.brownout.tier", dst)
 
     def step(self) -> list[QueryResponse]:
         """Dispatch one wave; empty list when the queue is idle."""
@@ -496,6 +526,9 @@ class QueryServer:
         # an already-admitted wave degrades to cache-only instead).
         tier = min(self._current_tier(), TIER_CACHE_ONLY)
         cache_only = tier == TIER_CACHE_ONLY
+        if tier != self._last_tier:
+            self._note_tier_change(self._last_tier, tier, start)
+            self._last_tier = tier
 
         exec_range = lead.window_range
         service_spec = lead.spec

@@ -5,6 +5,15 @@ one *complete* (``"ph": "X"``) event per finished span, with timestamps
 in microseconds of *simulated* time.  Tracks (``tid``) are assigned from
 the span's ``node`` attribute, so per-node work renders as one row per
 implant with system-level spans on row 0.
+
+Point-in-time fleet events ride the same span stream with marker
+attributes (set by :meth:`~repro.telemetry.Telemetry.instant`):
+
+* ``instant=True`` spans render as *instant* (``"ph": "i"``) events —
+  breaker transitions, brownout tier changes, coordinator failovers,
+  fired health alerts show up as tick marks on the timeline;
+* ``counter=True`` spans render as *counter* (``"ph": "C"``) events —
+  e.g. the brownout tier as a stepped series.
 """
 
 from __future__ import annotations
@@ -55,10 +64,36 @@ def chrome_trace_events(tracer: Tracer) -> dict:
         if span.end_us is None:
             continue
         args = {str(k): v for k, v in span.attrs.items()}
+        if args.pop("counter", None):
+            args.pop("instant", None)
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": 0,
+                    "name": span.name,
+                    "ts": span.start_us,
+                    "args": args,
+                }
+            )
+            continue
         args["trace_id"] = span.trace_id
         args["span_id"] = span.span_id
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
+        if args.pop("instant", None):
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": _span_tid(span),
+                    "name": span.name,
+                    "cat": span.name.split("-")[0],
+                    "ts": span.start_us,
+                    "s": "p",  # process-scoped tick mark
+                    "args": args,
+                }
+            )
+            continue
         events.append(
             {
                 "ph": "X",

@@ -1,0 +1,66 @@
+"""Fleet health engine: sketches, SLOs, anomaly detection, flight recorder.
+
+Four cooperating pieces turn the raw counters and spans of PR 2's
+telemetry layer into *health verdicts*:
+
+* :class:`~repro.telemetry.health.sketch.QuantileSketch` — a
+  deterministic, mergeable quantile sketch (DDSketch-style
+  relative-error buckets).  Merging is associative and commutative, so
+  per-node sketches fold into fleet sketches in any order — the
+  aggregation substrate for multi-site operation.
+* :class:`~repro.telemetry.health.slo.SLO` /
+  :class:`~repro.telemetry.health.slo.SLOEngine` — declarative
+  objectives over rolling simulated-time windows with multi-window
+  burn-rate alerting (fast-burn and slow-burn), emitting deterministic
+  :class:`~repro.telemetry.health.slo.Alert` events.
+* :class:`~repro.telemetry.health.anomaly.AnomalyDetector` — EWMA /
+  z-score excursions over per-round counter deltas (``serving.*``,
+  ``recovery.*``, ``arq.*``).
+* :class:`~repro.telemetry.health.recorder.FlightRecorder` — a bounded
+  ring buffer of recent spans, metric deltas, and
+  breaker/brownout/failover transitions, snapshotted into a JSON
+  incident bundle whenever an alert fires.
+
+:class:`~repro.telemetry.health.engine.HealthEngine` ties them together
+and is strictly observational: it reads the registry and tracer at TDMA
+round boundaries and never feeds back into serving decisions, so a run
+with a health engine attached is byte-identical to one without.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.health.anomaly import (
+    Anomaly,
+    AnomalyConfig,
+    AnomalyDetector,
+)
+from repro.telemetry.health.engine import (
+    DEFAULT_SERVING_SLOS,
+    HealthConfig,
+    HealthEngine,
+)
+from repro.telemetry.health.recorder import FlightRecorder
+from repro.telemetry.health.sketch import QuantileSketch
+from repro.telemetry.health.slo import (
+    SLO,
+    Alert,
+    BurnRateWindow,
+    SLOEngine,
+    SLOStatus,
+)
+
+__all__ = [
+    "Alert",
+    "Anomaly",
+    "AnomalyConfig",
+    "AnomalyDetector",
+    "BurnRateWindow",
+    "DEFAULT_SERVING_SLOS",
+    "FlightRecorder",
+    "HealthConfig",
+    "HealthEngine",
+    "QuantileSketch",
+    "SLO",
+    "SLOEngine",
+    "SLOStatus",
+]

@@ -1,0 +1,340 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLO` names an objective (e.g. "99 % of requests meet their
+coverage SLA") and how to measure it: per TDMA round the health engine
+feeds each SLO a ``(bad, total)`` event pair derived from counter
+deltas (or from a per-round latency-sketch quantile check).  The
+tracker keeps a rolling window of rounds and computes **burn rates** —
+the classic SRE construction::
+
+    error_rate(window) = bad_events / total_events   over the window
+    burn_rate(window)  = error_rate / (1 - objective)
+
+A burn rate of 1.0 consumes the error budget exactly at the rate the
+objective allows; a burn of 10 exhausts a month's budget in three days.
+Two windows watch each SLO:
+
+* **fast-burn** — a short window with a high threshold catches sharp
+  regressions (a fault storm) within a few rounds;
+* **slow-burn** — a long window with a low threshold catches sustained
+  degradation a short window would forgive.
+
+Each window fires at most one :class:`Alert` per excursion: the alert
+latches when the burn crosses the threshold and re-arms only after the
+burn drops back below it.  Everything is a pure function of the counter
+deltas, so the alert stream replays byte-identically per seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Window severities, in evaluation order.
+FAST, SLOW = "fast", "slow"
+
+
+@dataclass(frozen=True)
+class BurnRateWindow:
+    """One rolling evaluation window over TDMA rounds.
+
+    ``min_events`` guards against small-sample noise: a burn rate
+    computed over a handful of requests is an unreliable estimate, so
+    the window reports burn 0 until it holds at least that many total
+    events (the SRE "request-count guard").  This is also what lets the
+    chaos calibration distinguish a brief blip every fleet must ride
+    out from a sustained excursion worth waking someone for.
+    """
+
+    rounds: int
+    threshold: float
+    severity: str = FAST
+    min_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ConfigurationError("window must span at least one round")
+        if self.threshold <= 0:
+            raise ConfigurationError("burn-rate threshold must be positive")
+        if self.severity not in (FAST, SLOW):
+            raise ConfigurationError(
+                f"severity must be {FAST!r} or {SLOW!r}, "
+                f"got {self.severity!r}"
+            )
+        if self.min_events < 0:
+            raise ConfigurationError("event guard cannot be negative")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over serving/recovery counters.
+
+    Ratio SLOs name ``bad_counters`` and ``total_counters`` (summed
+    across label sets per round; the round's events are the deltas).
+    Latency SLOs instead name a ``latency_metric`` tracked by a
+    registry sketch: a round is *bad* when the round's
+    ``latency_quantile`` exceeds ``latency_threshold_ms``.
+    ``window_rounds`` and ``burn_rate_thresholds`` are the
+    ``(fast, slow)`` pairs driving the two alert windows.
+    """
+
+    name: str
+    objective: float
+    bad_counters: tuple[str, ...] = ()
+    total_counters: tuple[str, ...] = ()
+    latency_metric: str | None = None
+    latency_quantile: float = 0.99
+    latency_threshold_ms: float = 0.0
+    window_rounds: tuple[int, int] = (6, 32)
+    burn_rate_thresholds: tuple[float, float] = (10.0, 4.0)
+    #: request-count guards per window (0 = evaluate from the first event)
+    window_min_events: tuple[int, int] = (0, 0)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.objective < 1:
+            raise ConfigurationError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if (self.latency_metric is None) == (not self.bad_counters):
+            raise ConfigurationError(
+                f"SLO {self.name!r} needs either counters or a latency "
+                "metric, not both and not neither"
+            )
+        if self.latency_metric is not None and self.latency_threshold_ms <= 0:
+            raise ConfigurationError("latency threshold must be positive")
+        if not 0 < self.latency_quantile <= 1:
+            raise ConfigurationError("latency quantile must be in (0, 1]")
+        fast, slow = self.window_rounds
+        if not 1 <= fast <= slow:
+            raise ConfigurationError(
+                "window rounds must satisfy 1 <= fast <= slow, got "
+                f"{self.window_rounds}"
+            )
+        for threshold in self.burn_rate_thresholds:
+            if threshold <= 0:
+                raise ConfigurationError(
+                    "burn-rate thresholds must be positive"
+                )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def windows(self) -> tuple[BurnRateWindow, BurnRateWindow]:
+        (fast_w, slow_w) = self.window_rounds
+        (fast_t, slow_t) = self.burn_rate_thresholds
+        (fast_m, slow_m) = self.window_min_events
+        return (
+            BurnRateWindow(fast_w, fast_t, FAST, fast_m),
+            BurnRateWindow(slow_w, slow_t, SLOW, slow_m),
+        )
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired burn-rate alert (deterministic per seed)."""
+
+    slo: str
+    severity: str
+    round_index: int
+    t_ms: float
+    burn_rate: float
+    threshold: float
+    window_rounds: int
+    objective: float
+
+    def message(self) -> str:
+        return (
+            f"{self.severity}-burn alert: SLO {self.slo!r} burning "
+            f"{self.burn_rate:.1f}x its error budget over the last "
+            f"{self.window_rounds} rounds (threshold {self.threshold:.1f}x, "
+            f"objective {self.objective:.3f}) at round {self.round_index}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "slo": self.slo,
+            "severity": self.severity,
+            "round": self.round_index,
+            "t_ms": self.t_ms,
+            "burn_rate": self.burn_rate,
+            "threshold": self.threshold,
+            "window_rounds": self.window_rounds,
+            "objective": self.objective,
+            "message": self.message(),
+        }
+
+
+@dataclass
+class SLOStatus:
+    """One SLO's verdict over everything observed so far."""
+
+    name: str
+    objective: float
+    description: str
+    total_events: int
+    bad_events: int
+    burn_fast: float
+    burn_slow: float
+    alerts_fired: int
+
+    @property
+    def error_rate(self) -> float:
+        return self.bad_events / self.total_events if self.total_events else 0.0
+
+    @property
+    def attainment(self) -> float:
+        return 1.0 - self.error_rate
+
+    @property
+    def met(self) -> bool:
+        """Did the run as a whole stay within the objective?"""
+        return self.attainment >= self.objective
+
+    def as_dict(self) -> dict:
+        return {
+            "slo": self.name,
+            "objective": self.objective,
+            "description": self.description,
+            "total_events": self.total_events,
+            "bad_events": self.bad_events,
+            "attainment": self.attainment,
+            "met": self.met,
+            "burn_fast": self.burn_fast,
+            "burn_slow": self.burn_slow,
+            "alerts_fired": self.alerts_fired,
+        }
+
+
+class _RollingWindow:
+    """A fixed-length window of ``(bad, total)`` rounds with O(1) sums."""
+
+    __slots__ = ("_samples", "bad", "total")
+
+    def __init__(self, rounds: int) -> None:
+        self._samples: deque[tuple[int, int]] = deque(maxlen=rounds)
+        self.bad = 0
+        self.total = 0
+
+    def push(self, bad: int, total: int) -> None:
+        if len(self._samples) == self._samples.maxlen:
+            old_bad, old_total = self._samples[0]
+            self.bad -= old_bad
+            self.total -= old_total
+        self._samples.append((bad, total))
+        self.bad += bad
+        self.total += total
+
+
+class SLOTracker:
+    """Rolling burn-rate evaluation for one SLO."""
+
+    def __init__(self, slo: SLO) -> None:
+        self.slo = slo
+        self.windows = slo.windows()
+        # per-window rolling state: the samples inside the window plus
+        # running bad/total sums, so burn_rate is O(1) per round rather
+        # than a window-length scan (the health engine calls this every
+        # TDMA round for every SLO — it is on the 5 % overhead budget)
+        self._rolling: dict[int, _RollingWindow] = {}
+        for window in self.windows:
+            self._rolling.setdefault(window.rounds, _RollingWindow(window.rounds))
+        self._latched: dict[str, bool] = {w.severity: False for w in self.windows}
+        self.total_events = 0
+        self.bad_events = 0
+        self.alerts: list[Alert] = []
+
+    def burn_rate(self, window_rounds: int, min_events: int = 0) -> float:
+        """Burn over the newest ``window_rounds`` samples.
+
+        Reports 0 until the window holds ``min_events`` total events —
+        too few requests make the error-rate estimate noise, not signal.
+        """
+        rolling = self._rolling.get(window_rounds)
+        if rolling is None:
+            raise ConfigurationError(
+                f"SLO {self.slo.name!r} has no {window_rounds}-round window"
+            )
+        if rolling.total == 0 or rolling.total < min_events:
+            return 0.0
+        return (rolling.bad / rolling.total) / self.slo.error_budget
+
+    def observe(
+        self, round_index: int, t_ms: float, bad: int, total: int
+    ) -> list[Alert]:
+        """Feed one round's events; returns alerts fired this round."""
+        if bad < 0 or total < bad:
+            raise ConfigurationError(
+                f"SLO {self.slo.name!r} needs 0 <= bad <= total, got "
+                f"bad={bad} total={total}"
+            )
+        for rolling in self._rolling.values():
+            rolling.push(bad, total)
+        self.total_events += total
+        self.bad_events += bad
+        fired: list[Alert] = []
+        for window in self.windows:
+            burn = self.burn_rate(window.rounds, window.min_events)
+            if burn >= window.threshold:
+                if not self._latched[window.severity]:
+                    self._latched[window.severity] = True
+                    alert = Alert(
+                        slo=self.slo.name,
+                        severity=window.severity,
+                        round_index=round_index,
+                        t_ms=t_ms,
+                        burn_rate=burn,
+                        threshold=window.threshold,
+                        window_rounds=window.rounds,
+                        objective=self.slo.objective,
+                    )
+                    self.alerts.append(alert)
+                    fired.append(alert)
+            else:
+                self._latched[window.severity] = False  # re-arm
+        return fired
+
+    def status(self) -> SLOStatus:
+        fast, slow = self.windows
+        return SLOStatus(
+            name=self.slo.name,
+            objective=self.slo.objective,
+            description=self.slo.description,
+            total_events=self.total_events,
+            bad_events=self.bad_events,
+            burn_fast=self.burn_rate(fast.rounds, fast.min_events),
+            burn_slow=self.burn_rate(slow.rounds, slow.min_events),
+            alerts_fired=len(self.alerts),
+        )
+
+
+class SLOEngine:
+    """Trackers for a set of SLOs, evaluated round by round."""
+
+    def __init__(self, slos: tuple[SLO, ...]) -> None:
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate SLO names in {names}")
+        self.trackers: dict[str, SLOTracker] = {
+            slo.name: SLOTracker(slo) for slo in slos
+        }
+
+    @property
+    def slos(self) -> list[SLO]:
+        return [t.slo for t in self.trackers.values()]
+
+    def observe(
+        self, name: str, round_index: int, t_ms: float, bad: int, total: int
+    ) -> list[Alert]:
+        return self.trackers[name].observe(round_index, t_ms, bad, total)
+
+    def alerts(self) -> list[Alert]:
+        """Every fired alert, in (round, slo-name) order."""
+        fired = [a for t in self.trackers.values() for a in t.alerts]
+        return sorted(fired, key=lambda a: (a.round_index, a.slo, a.severity))
+
+    def statuses(self) -> list[SLOStatus]:
+        return [self.trackers[name].status() for name in sorted(self.trackers)]

@@ -19,10 +19,12 @@ Metric naming scheme (see DESIGN.md "Telemetry & tracing"):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import ConfigurationError
+from repro.telemetry.health.sketch import QuantileSketch
 
 #: Label set canonicalised to a hashable, deterministically-ordered key.
 LabelKey = tuple[tuple[str, str], ...]
@@ -36,7 +38,16 @@ DEFAULT_BUCKET_EDGES = (
 
 
 def label_key(labels: dict[str, object]) -> LabelKey:
-    """Canonicalise a label dict: sorted, stringified."""
+    """Canonicalise a label dict: sorted, stringified.
+
+    The zero- and one-label cases — the overwhelming majority of calls
+    on the serving hot path — skip the sort entirely.
+    """
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        ((k, v),) = labels.items()
+        return ((k, str(v)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -93,6 +104,42 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
 
+    def quantile(self, q: float, *, interpolate: bool = True) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        With ``interpolate=True`` (the default) the estimate is placed
+        *within* the admitting bucket by linear interpolation on the
+        rank, clamped to the observed ``[min, max]``; its error is
+        bounded by that bucket's width.  ``interpolate=False`` keeps
+        the legacy answer — the bucket's upper edge — which is biased
+        upward by up to a full bucket width (a p50 of uniform 0.5–1 ms
+        data used to report exactly 1.0 ms).  Sketch-backed quantiles
+        (:meth:`MetricsRegistry.quantile`) carry a relative-error bound
+        instead and are preferred where available.
+        """
+        if not 0 < q <= 1:
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q}")
+        if self.n == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.n))
+        seen = 0
+        for i, count in enumerate(self.counts):
+            if count == 0 or seen + count < rank:
+                seen += count
+                continue
+            if i < len(self.edges):
+                upper = self.edges[i]
+                lower = self.edges[i - 1] if i > 0 else self.min_value
+            else:  # overflow bucket: all we know is (last edge, max]
+                upper = self.max_value
+                lower = self.edges[-1]
+            if not interpolate:
+                return upper
+            lower = min(max(lower, self.min_value), upper)
+            estimate = lower + (upper - lower) * ((rank - seen) / count)
+            return min(max(estimate, self.min_value), self.max_value)
+        return self.max_value
+
     def as_dict(self) -> dict:
         return {
             "edges": list(self.edges),
@@ -106,14 +153,28 @@ class Histogram:
 
 @dataclass
 class MetricsRegistry:
-    """Counters, gauges, and histograms for one scenario run."""
+    """Counters, gauges, histograms, and quantile sketches for one run.
+
+    ``observe()`` dual-writes every sample: into the fixed-bucket
+    :class:`Histogram` (the PR-2 export surface, kept byte-compatible)
+    and into a mergeable
+    :class:`~repro.telemetry.health.sketch.QuantileSketch`, which is
+    what quantile readers should prefer — its error is *relative*
+    (±1 % by default at any magnitude) rather than bucket-width bound,
+    and sketches from different nodes/labels merge exactly.
+    """
 
     _counters: dict[tuple[str, LabelKey], float] = field(default_factory=dict)
     _gauges: dict[tuple[str, LabelKey], float] = field(default_factory=dict)
     _histograms: dict[tuple[str, LabelKey], Histogram] = field(
         default_factory=dict
     )
+    _sketches: dict[tuple[str, LabelKey], QuantileSketch] = field(
+        default_factory=dict
+    )
     _declared_edges: dict[str, tuple[float, ...]] = field(default_factory=dict)
+    #: relative-error bound for newly created sketches
+    sketch_accuracy: float = 0.01
 
     # -- writes -------------------------------------------------------------------
 
@@ -139,6 +200,12 @@ class MetricsRegistry:
             edges = self._declared_edges.get(name, DEFAULT_BUCKET_EDGES)
             hist = self._histograms[key] = Histogram(edges)
         hist.observe(value)
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            sketch = self._sketches[key] = QuantileSketch(
+                relative_accuracy=self.sketch_accuracy
+            )
+        sketch.observe(value)
 
     # -- reads --------------------------------------------------------------------
 
@@ -151,8 +218,32 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels: object) -> Histogram | None:
         return self._histograms.get((name, label_key(labels)))
 
+    def sketch(self, name: str, **labels: object) -> QuantileSketch | None:
+        return self._sketches.get((name, label_key(labels)))
+
+    def quantile(self, name: str, q: float, **labels: object) -> float:
+        """The preferred quantile reader: sketch first, histogram fallback.
+
+        The sketch answer is within the registry's relative-error
+        bound; the histogram fallback (for series observed before
+        sketches existed, e.g. restored snapshots) is interpolated and
+        bucket-width bound.  Returns 0.0 for unknown series.
+        """
+        sketch = self.sketch(name, **labels)
+        if sketch is not None and sketch.count:
+            return sketch.quantile(q)
+        hist = self.histogram(name, **labels)
+        return hist.quantile(q) if hist is not None else 0.0
+
     def counters(self) -> Iterator[tuple[str, LabelKey, float]]:
         for (name, labels), value in sorted(self._counters.items()):
+            yield name, labels, value
+
+    def counter_items(self) -> Iterator[tuple[str, LabelKey, float]]:
+        """Counters in insertion order — for aggregating readers (the
+        health engine sums these every round) that don't need the
+        sorted view and shouldn't pay for one."""
+        for (name, labels), value in self._counters.items():
             yield name, labels, value
 
     def gauges(self) -> Iterator[tuple[str, LabelKey, float]]:
@@ -162,6 +253,10 @@ class MetricsRegistry:
     def histograms(self) -> Iterator[tuple[str, LabelKey, Histogram]]:
         for (name, labels), hist in sorted(self._histograms.items()):
             yield name, labels, hist
+
+    def sketches(self) -> Iterator[tuple[str, LabelKey, QuantileSketch]]:
+        for (name, labels), sketch in sorted(self._sketches.items()):
+            yield name, labels, sketch
 
     def series(self, name: str) -> dict[LabelKey, float]:
         """All labelled cells of one counter/gauge name, deterministic order."""
@@ -186,5 +281,9 @@ class MetricsRegistry:
             "histograms": {
                 format_metric(name, labels): hist.as_dict()
                 for name, labels, hist in self.histograms()
+            },
+            "sketches": {
+                format_metric(name, labels): sketch.as_dict()
+                for name, labels, sketch in self.sketches()
             },
         }

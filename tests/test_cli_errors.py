@@ -43,6 +43,15 @@ BAD_INVOCATIONS = [
     pytest.param(("serve", "--fault-plan", "apocalypse"),
                  id="serve-unknown-fault-plan"),
     pytest.param(("chaos", "--seed", "x"), id="chaos-seed-not-an-int"),
+    pytest.param(("health", "nosuchstorm"), id="health-unknown-storm"),
+    pytest.param(("health", "--seed", "x"), id="health-seed-not-an-int"),
+    pytest.param(("health", "mild", "--health-report",
+                  "/nonexistent/dir/h.json"),
+                 id="health-report-missing-parent"),
+    pytest.param(("serve", "--health-report", "/nonexistent/dir/h.json"),
+                 id="serve-health-report-missing-parent"),
+    pytest.param(("chaos", "--health-report", "reports/"),
+                 id="chaos-health-report-trailing-slash"),
     pytest.param(("recover", "--seed", "x"), id="recover-seed-not-an-int"),
     pytest.param(("nosuchtarget",), id="unknown-target"),
 ]

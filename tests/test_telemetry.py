@@ -180,13 +180,23 @@ def _validate_chrome_trace(doc: dict) -> list[dict]:
     assert doc["displayTimeUnit"] in ("ms", "ns")
     complete = []
     for event in doc["traceEvents"]:
-        assert {"ph", "pid", "tid", "name"} <= set(event)
-        assert event["ph"] in ("M", "X")
-        assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+        assert {"ph", "pid", "name"} <= set(event)
+        assert event["ph"] in ("M", "X", "i", "C")
+        assert isinstance(event["pid"], int)
         if event["ph"] == "M":
+            assert isinstance(event["tid"], int)
             assert event["name"] in ("process_name", "thread_name")
             assert "name" in event["args"]
+        elif event["ph"] == "i":
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["ts"], (int, float))
+            assert event["s"] in ("t", "p", "g")
+            assert "instant" not in event["args"]
+        elif event["ph"] == "C":
+            assert isinstance(event["ts"], (int, float))
+            assert event["args"]  # a counter event needs a series value
         else:
+            assert isinstance(event["tid"], int)
             assert isinstance(event["ts"], (int, float))
             assert isinstance(event["dur"], (int, float))
             assert event["dur"] >= 0
