@@ -462,16 +462,36 @@ def _serve(args) -> None:
 
 
 def _chaos(args) -> None:
-    from repro.eval.chaos import ChaosConfig, chaos_sweep
+    from repro.eval.chaos import (
+        ChaosConfig,
+        chaos_sweep,
+        partition_config,
+        run_partition_storm,
+    )
     from repro.eval.reporting import span_summary, telemetry_summary
     from repro.telemetry import Telemetry, write_metrics_csv
 
+    from repro.errors import ConfigurationError
+
+    if args.scenario not in (None, "partition"):
+        raise ConfigurationError(
+            f"unknown chaos scenario {args.scenario!r}; "
+            "'partition' runs the split-brain storm, no argument runs "
+            "the three-level sweep"
+        )
     telemetry = Telemetry()
-    config = ChaosConfig(seed=args.seed)
-    sweep = chaos_sweep(config, telemetry)
-    print(f"-- chaos sweep: {config.n_requests} requests at "
-          f"{config.offered_qps:.0f} QPS over {config.n_nodes} implants, "
-          f"coverage SLA {config.min_coverage:.2f} (seed {config.seed})\n")
+    if args.scenario == "partition":
+        config = partition_config(seed=args.seed)
+        sweep = run_partition_storm(config, telemetry)
+        print(f"-- partition storm: {config.n_requests} requests at "
+              f"{config.offered_qps:.0f} QPS over {config.n_nodes} implants, "
+              f"quorum {config.n_nodes // 2 + 1} (seed {config.seed})\n")
+    else:
+        config = ChaosConfig(seed=args.seed)
+        sweep = chaos_sweep(config, telemetry)
+        print(f"-- chaos sweep: {config.n_requests} requests at "
+              f"{config.offered_qps:.0f} QPS over {config.n_nodes} implants, "
+              f"coverage SLA {config.min_coverage:.2f} (seed {config.seed})\n")
     for line in sweep.table():
         print(f"  {line}")
     print()
@@ -613,7 +633,9 @@ def main(argv: list[str] | None = None) -> int:
                         + ", ".join(sorted(set(_COMMANDS))))
     parser.add_argument("scenario", nargs="?", default=None,
                         help="scenario name for 'trace' (default: seizure); "
-                             "storm level for 'health' (default: moderate)")
+                             "storm level for 'health' (default: moderate); "
+                             "'partition' for 'chaos' runs the split-brain "
+                             "storm instead of the sweep")
     parser.add_argument("--nodes", type=int, default=11)
     parser.add_argument("--power", type=float, default=15.0)
     parser.add_argument("--pairs", type=int, default=300)
@@ -639,9 +661,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="relative request deadline for 'serve' "
                              "(simulated ms)")
     parser.add_argument("--fault-plan", default=None,
-                        choices=("none", "mild", "moderate", "severe"),
+                        choices=("none", "mild", "moderate", "severe",
+                                 "partition"),
                         help="replay a fault-storm preset under 'serve' "
-                             "(enables retries/brownout)")
+                             "(enables retries/brownout; 'partition' also "
+                             "attaches the quorum/epoch stack)")
     parser.add_argument("--range", type=_window_range, default=None,
                         metavar="START:STOP",
                         help="window-index range for 'query'")

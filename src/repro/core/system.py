@@ -257,17 +257,22 @@ class ScaloSystem:
     def default_tdma_schedule(self, slots_per_node: int = 1) -> TDMASchedule:
         return TDMASchedule.round_robin(self.tdma, self.n_nodes, slots_per_node)
 
-    def attach_failover(self, health=None, flows=None):
+    def attach_failover(self, health=None, flows=None, views=None):
         """Enable coordinator failover for the centralised stages.
 
         Returns the attached
         :class:`~repro.recovery.failover.FailoverManager`; distributed
-        queries now coordinate at its electee (lowest-id alive node).
+        queries now coordinate at its electee.  With ``health`` (one
+        fleet-shared belief) the PR-3 lowest-id rule applies; with
+        ``views`` (per-node :class:`~repro.faults.health.FleetBelief`)
+        election is quorum-gated and epoch-fenced — the partition-safe
+        mode, under which a fleet with no majority side has no
+        coordinator at all.
         """
         from repro.recovery.failover import FailoverManager
 
         self.failover = FailoverManager(
-            self, health=health, flows=list(flows or [])
+            self, health=health, views=views, flows=list(flows or [])
         )
         return self.failover
 
@@ -410,6 +415,10 @@ class ScaloSystem:
                 # pick up any pending handover before coordinating
                 self.failover.step()
                 coordinator = self.failover.coordinator
+                if coordinator is None:
+                    raise NodeFailure(
+                        -1, "no quorum: coordination suspended"
+                    )
             else:
                 coordinator = alive[0]
         if not self.is_alive(coordinator):
@@ -426,11 +435,18 @@ class ScaloSystem:
                 # queries get their own sequence space so back-to-back
                 # queries are never mistaken for ARQ duplicates
                 self._query_seq = (self._query_seq + 1) & 0xFFFF
+                epoch = 0
                 if self.failover is not None:
                     self.failover.checkpoint()
+                    self.failover.note_broadcast(self._query_seq)
+                    # the epoch rides time_ticks as the fencing token:
+                    # receivers discard query traffic from any deposed
+                    # coordinator still broadcasting an older epoch
+                    epoch = self.failover.epoch
                 packet = Packet.build(
                     coordinator, BROADCAST, PayloadKind.QUERY, payload,
-                    seq=self._query_seq, trace=tel.current_context(),
+                    seq=self._query_seq, time_ticks=epoch,
+                    trace=tel.current_context(),
                 )
                 tel.inc("system.query_broadcasts")
                 if self.link is not None:
@@ -453,6 +469,17 @@ class ScaloSystem:
                     and p.header.src == coordinator
                 ]
                 self._inboxes[node] = [p for p in inbox if p not in heard]
+                if self.failover is not None:
+                    stale = [
+                        p for p in heard
+                        if p.header.time_ticks < self.failover.epoch
+                    ]
+                    if stale:
+                        # fencing at the receiver: query traffic stamped
+                        # with a superseded epoch is discarded, counted,
+                        # and never answered
+                        tel.inc("recovery.fencing.rejected", len(stale))
+                        heard = [p for p in heard if p not in stale]
                 if heard:
                     node_traces[node] = heard[-1].trace
                 else:

@@ -24,6 +24,16 @@ determinism contract extended to the chaos path.  The gates themselves
 bound) live here so the ``chaos`` CLI, the telemetry scenario, and
 ``benchmarks/test_chaos.py`` (which writes ``BENCH_chaos.json``)
 enforce the same numbers.
+
+A fourth storm sits apart from the sweep: the :data:`PARTITION` storm
+(``python -m repro chaos partition``) splits the radio fabric itself —
+asymmetric link-level partitions over crashes and outages — and gates
+the *coordination* layer: at most one coordinator writes accepted
+checkpoints per round, epochs never move backwards, no query sequence
+number is broadcast twice, every stale-epoch write is fenced, and the
+majority side keeps availability ≥ 95%.  Its audit comes from the
+:class:`~repro.recovery.FailoverManager`'s deterministic counters, and
+``benchmarks/test_partition.py`` writes it to ``BENCH_partition.json``.
 """
 
 from __future__ import annotations
@@ -60,6 +70,9 @@ class StormLevel:
     rot_bits: int = 1
     n_drift_spikes: int = 0
     drift_spike_us: float = 50.0
+    n_partitions: int = 0
+    partition_rounds: int = 6
+    partition_asymmetric: bool = True
 
     def plan(self, n_nodes: int, n_rounds: int, seed: int) -> FaultPlan:
         """Draw this level's deterministic plan for one fleet/horizon."""
@@ -75,6 +88,9 @@ class StormLevel:
             rot_bits=self.rot_bits,
             n_drift_spikes=self.n_drift_spikes,
             drift_spike_us=self.drift_spike_us,
+            n_partitions=self.n_partitions,
+            partition_rounds=self.partition_rounds,
+            partition_asymmetric=self.partition_asymmetric,
         )
 
 
@@ -109,6 +125,25 @@ SEVERE = StormLevel(
     n_drift_spikes=2,
 )
 
+#: The split-brain storm: four link-level partitions (asymmetric modes
+#: drawn per split) over rebooting crashes and radio outages.  The
+#: crashes matter — with an odd fleet a lone cut always leaves one side
+#: holding a strict majority, so only crash+split combinations exercise
+#: the stepdown / quorum-lost / cache-only path.  Calibrated against
+#: :func:`partition_config` at seed 0: the storm deposes the
+#: coordinator into a minority (8 fenced stale writes, 2 epoch
+#: reconciliations), forces one stepdown (quorum lost and regained),
+#: and still serves every request.
+PARTITION = StormLevel(
+    name="partition",
+    n_crashes=2,
+    reboot_after=4,
+    n_outages=2,
+    outage_rounds=3,
+    n_partitions=4,
+    partition_rounds=10,
+)
+
 STORM_LEVELS: tuple[StormLevel, ...] = (MILD, MODERATE, SEVERE)
 
 #: Presets accepted by ``python -m repro serve --fault-plan``.
@@ -117,6 +152,7 @@ FAULT_PRESETS: dict[str, StormLevel | None] = {
     "mild": MILD,
     "moderate": MODERATE,
     "severe": SEVERE,
+    "partition": PARTITION,
 }
 
 # -- gates ---------------------------------------------------------------------
@@ -137,6 +173,9 @@ MILD_MAX_ALERTS = 0
 #: budget over the fast window) must fire a fast-burn alert and
 #: snapshot an incident bundle
 MODERATE_MIN_FAST_BURN_ALERTS = 1
+#: partition storm: unique requests answered / offered — the majority
+#: side must keep serving through both splits and the crash
+PARTITION_MIN_AVAILABILITY = 0.95
 
 
 # -- the sweep -----------------------------------------------------------------
@@ -195,6 +234,73 @@ class ChaosConfig:
         )
 
 
+@dataclass(frozen=True)
+class PartitionInvariants:
+    """The coordination audit of one partition storm.
+
+    Every number is read off the :class:`~repro.recovery.FailoverManager`
+    after the run — deterministic counters, not telemetry — so the
+    split-brain gates hold with or without a live telemetry handle.
+    """
+
+    #: most distinct coordinators that wrote an accepted checkpoint in
+    #: any single TDMA round (the split-brain invariant: must be 1)
+    max_coordinators_per_round: int
+    #: accepted checkpoint epochs never went backwards
+    epochs_monotonic: bool
+    #: query sequence numbers broadcast more than once
+    duplicate_query_seqs: int
+    #: stale-epoch checkpoint writes rejected by the fence
+    fencing_rejected: int
+    #: stale-epoch writes that slipped past the fence (must be 0)
+    fencing_accepted_stale: int
+    #: the highest epoch installed
+    epoch: int
+    failovers: int
+    stepdowns: int
+    #: stale claimants that re-adopted the current epoch after a heal
+    reconciliations: int
+    #: elections decided from ground truth because no health view was
+    #: attached (must be 0 under the partition wiring)
+    blind_fallbacks: int
+
+    def row(self) -> dict:
+        return {
+            "max_coordinators_per_round": self.max_coordinators_per_round,
+            "epochs_monotonic": self.epochs_monotonic,
+            "duplicate_query_seqs": self.duplicate_query_seqs,
+            "fencing_rejected": self.fencing_rejected,
+            "fencing_accepted_stale": self.fencing_accepted_stale,
+            "epoch": self.epoch,
+            "failovers": self.failovers,
+            "stepdowns": self.stepdowns,
+            "reconciliations": self.reconciliations,
+            "blind_fallbacks": self.blind_fallbacks,
+        }
+
+
+def _audit_coordination(manager) -> PartitionInvariants:
+    """Distill one manager's claim log and counters into the invariants."""
+    per_round: dict[int, set[int]] = {}
+    for round_index, coordinator, _epoch in manager.claim_log:
+        per_round.setdefault(round_index, set()).add(coordinator)
+    epochs = [epoch for _, _, epoch in manager.claim_log]
+    return PartitionInvariants(
+        max_coordinators_per_round=max(
+            (len(claimants) for claimants in per_round.values()), default=0
+        ),
+        epochs_monotonic=all(a <= b for a, b in zip(epochs, epochs[1:])),
+        duplicate_query_seqs=manager.duplicate_seqs,
+        fencing_rejected=manager.fencing_rejected,
+        fencing_accepted_stale=manager.fencing_accepted_stale,
+        epoch=manager.epoch,
+        failovers=len(manager.history),
+        stepdowns=manager.stepdowns,
+        reconciliations=manager.reconciliations,
+        blind_fallbacks=manager.blind_fallbacks,
+    )
+
+
 @dataclass
 class StormResult:
     """One storm level's run: the plan, the report, the breaker story."""
@@ -209,6 +315,9 @@ class StormResult:
     #: :meth:`HealthEngine.report` for this storm (None without live
     #: telemetry — the health engine needs a registry to observe)
     health: dict | None = None
+    #: the coordination audit, when the plan scheduled partitions and
+    #: the quorum/epoch stack was therefore attached
+    coordination: PartitionInvariants | None = None
 
     def row(self) -> dict:
         """The BENCH/table view of this storm level."""
@@ -279,6 +388,10 @@ def run_storm(
         level=level, plan=plan, report=report,
         breaker_transitions=transitions,
         health=health.report() if health is not None else None,
+        coordination=(
+            _audit_coordination(server.failover)
+            if server.failover is not None else None
+        ),
     )
 
 
@@ -415,3 +528,144 @@ def chaos_sweep(
         config=config,
         results=[run_storm(level, config, telemetry) for level in levels],
     )
+
+
+# -- the partition storm -------------------------------------------------------
+
+
+def partition_config(seed: int = 0) -> ChaosConfig:
+    """The partition storm's fleet: seven implants.
+
+    An odd fleet guarantees every single-cut split leaves one side with
+    a strict majority (quorum 4 of 7), so the majority side can always
+    elect and the minority can never — the structural half of the
+    split-brain invariant the gates then verify end to end.
+    """
+    return ChaosConfig(n_nodes=7, seed=seed)
+
+
+@dataclass
+class PartitionStormReport:
+    """One partition storm plus its split-brain gate verdicts."""
+
+    config: ChaosConfig
+    result: StormResult
+
+    @property
+    def invariants(self) -> PartitionInvariants:
+        assert self.result.coordination is not None
+        return self.result.coordination
+
+    def gate_failures(self) -> list[str]:
+        """Every split-brain gate the storm missed (empty = all pass)."""
+        failures = []
+        inv = self.invariants
+        report = self.result.report
+        if report.availability < PARTITION_MIN_AVAILABILITY:
+            failures.append(
+                f"availability {report.availability:.4f} < "
+                f"{PARTITION_MIN_AVAILABILITY} (majority side must serve)"
+            )
+        if inv.max_coordinators_per_round > 1:
+            failures.append(
+                f"{inv.max_coordinators_per_round} coordinators wrote "
+                "accepted checkpoints in one round (split brain)"
+            )
+        if not inv.epochs_monotonic:
+            failures.append("accepted checkpoint epochs went backwards")
+        if inv.duplicate_query_seqs > 0:
+            failures.append(
+                f"{inv.duplicate_query_seqs} query seqs broadcast twice"
+            )
+        if inv.fencing_accepted_stale > 0:
+            failures.append(
+                f"{inv.fencing_accepted_stale} stale-epoch writes "
+                "slipped past the fence"
+            )
+        if inv.fencing_rejected < 1:
+            failures.append(
+                "fence never exercised: no stale-epoch write was rejected "
+                "(the storm must depose a coordinator that keeps writing)"
+            )
+        if inv.blind_fallbacks > 0:
+            failures.append(
+                f"{inv.blind_fallbacks} elections fell back to ground "
+                "truth (belief wiring missing)"
+            )
+        return failures
+
+    @property
+    def passed(self) -> bool:
+        return not self.gate_failures()
+
+    def gates(self) -> dict:
+        return {
+            "partition_availability_min": PARTITION_MIN_AVAILABILITY,
+            "coordinators_per_round_max": 1,
+            "duplicate_query_seqs_max": 0,
+            "fencing_accepted_stale_max": 0,
+            "fencing_rejected_min": 1,
+            "blind_fallbacks_max": 0,
+        }
+
+    def row(self) -> dict:
+        """The BENCH view: serving row + the coordination audit."""
+        row = self.result.row()
+        row["coordination"] = self.invariants.row()
+        return row
+
+    def health_report(self) -> dict:
+        """The ``--health-report`` JSON: verdicts + storm evidence."""
+        entry: dict = {"row": self.row()}
+        if self.result.health is not None:
+            entry["health"] = self.result.health
+        return {
+            "gates": self.gates(),
+            "gate_failures": self.gate_failures(),
+            "passed": self.passed,
+            "storms": {self.result.level.name: entry},
+        }
+
+    def table(self) -> list[str]:
+        """Fixed-width summary lines for the CLI and the benchmark."""
+        r = self.result.report
+        inv = self.invariants
+        lines = [
+            f"{'level':>9s}{'events':>8s}{'avail':>8s}{'epoch':>7s}"
+            f"{'fails':>7s}{'steps':>7s}{'fenced':>8s}{'recon':>7s}"
+            f"{'p99':>10s}",
+            f"{self.result.level.name:>9s}{len(self.result.plan.events):8d}"
+            f"{r.availability:8.4f}{inv.epoch:7d}{inv.failovers:7d}"
+            f"{inv.stepdowns:7d}{inv.fencing_rejected:8d}"
+            f"{inv.reconciliations:7d}{r.p99_latency_ms:8.1f}ms",
+        ]
+        for failure in self.gate_failures():
+            lines.append(f"GATE FAILED: {failure}")
+        if self.passed:
+            lines.append("all split-brain gates pass")
+        return lines
+
+
+def run_partition_storm(
+    config: ChaosConfig | None = None,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
+    health: HealthEngine | None = None,
+    level: StormLevel = PARTITION,
+) -> PartitionStormReport:
+    """Run the split-brain storm and audit the coordination layer.
+
+    Same determinism contract as :func:`run_storm` — the response log
+    and every invariant counter replay byte-identically per seed — with
+    the quorum/epoch stack attached (the plan schedules partitions, so
+    :func:`~repro.serving.serve_session` wires per-node belief views
+    and the epoch-fenced failover manager automatically).
+    """
+    config = config if config is not None else partition_config()
+    if level.n_partitions < 1:
+        raise ConfigurationError(
+            f"storm level {level.name!r} schedules no partitions; the "
+            "split-brain gates need at least one"
+        )
+    result = run_storm(level, config, telemetry, health)
+    assert result.coordination is not None
+    return PartitionStormReport(config=config, result=result)

@@ -87,3 +87,60 @@ class HealthMonitor:
     def coverage(self) -> float:
         """Fraction of the fleet currently believed alive."""
         return len(self.alive_nodes) / self.n_nodes
+
+
+@dataclass
+class FleetBelief:
+    """Per-node liveness views: one :class:`HealthMonitor` per vantage.
+
+    A single fleet-shared monitor silently assumes every heartbeat is
+    heard everywhere — exactly the assumption an asymmetric partition
+    breaks.  ``FleetBelief`` keeps one monitor *per observer*, fed only
+    with the heartbeats that observer can actually exchange with the
+    sender (the injector requires the probe *and* its ack to flow, so a
+    peer that can hear you but cannot answer still counts as dead).
+    That round-trip rule makes every view the symmetric closure of the
+    link matrix: views agree within a partition component, and quorum
+    election over them admits at most one majority side.
+
+    Each observer always believes itself alive (it heartbeats itself
+    every round it is up) — a node's own vantage never expires.
+    """
+
+    n_nodes: int
+    miss_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError("need at least one node")
+        self._views: dict[int, HealthMonitor] = {
+            n: HealthMonitor(self.n_nodes, self.miss_threshold)
+            for n in range(self.n_nodes)
+        }
+
+    def heartbeat(self, observer: int, sender: int, round_index: int) -> None:
+        """Record that ``observer`` completed a probe round-trip to ``sender``."""
+        self.view(observer).heartbeat(sender, round_index)
+
+    def tick(self, round_index: int) -> dict[int, list[int]]:
+        """Close one round on every view.
+
+        Returns ``{observer: newly_dead_nodes}`` for observers whose
+        belief changed, in observer order (deterministic).
+        """
+        changed: dict[int, list[int]] = {}
+        for observer in range(self.n_nodes):
+            newly_dead = self._views[observer].tick(round_index)
+            if newly_dead:
+                changed[observer] = newly_dead
+        return changed
+
+    def view(self, node: int) -> HealthMonitor:
+        """The liveness belief as seen from one node."""
+        if node not in self._views:
+            raise ConfigurationError(f"node {node} out of range")
+        return self._views[node]
+
+    def alive_in_view(self, node: int) -> list[int]:
+        """Nodes the given vantage currently believes alive."""
+        return self.view(node).alive_nodes

@@ -17,8 +17,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.system import ScaloSystem
-from repro.faults.health import HealthMonitor
-from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.health import FleetBelief, HealthMonitor
+from repro.faults.plan import PARTITION_MODES, FaultEvent, FaultKind, FaultPlan
+from repro.network.partition import PartitionMatrix
 from repro.storage.nvm import PAGE_BYTES
 
 
@@ -41,10 +42,18 @@ class FaultInjector:
     #: optional :class:`~repro.recovery.failover.FailoverManager`,
     #: stepped after the health tick so handovers follow detection
     failover: object | None = None
+    #: per-node liveness views, fed by round-trip probes; auto-created
+    #: when the plan schedules partitions (a fleet-shared belief cannot
+    #: represent the divergent views a split produces)
+    belief: FleetBelief | None = None
 
     def __post_init__(self) -> None:
         if self.health is None:
             self.health = HealthMonitor(self.system.n_nodes)
+        if self.belief is None and self.plan.has_partitions:
+            self.belief = FleetBelief(
+                self.system.n_nodes, self.health.miss_threshold
+            )
 
     # -- stepping -----------------------------------------------------------------
 
@@ -68,10 +77,14 @@ class FaultInjector:
                 node
             ):
                 self.health.heartbeat(node, r)
+        if self.belief is not None:
+            self._probe_views(r)
         for node in self.health.tick(r):
             self.log.append(f"round={r:08d} monitor declares node {node:03d} dead")
+        if self.belief is not None:
+            self.belief.tick(r)
         if self.failover is not None:
-            handover = self.failover.step()
+            handover = self.failover.step(round_index=r)
             if handover is not None:
                 self.log.append(
                     f"round={r:08d} coordinator failover "
@@ -80,6 +93,30 @@ class FaultInjector:
                 )
         self.round_index += 1
         return applied
+
+    def _probe_views(self, r: int) -> None:
+        """Feed per-node views with round-trip liveness probes.
+
+        An observer credits a sender only when the probe *and* its ack
+        can traverse the fabric (both link directions clear, both ends
+        up and out of outage).  The round-trip rule means every view
+        converges on the symmetric closure of the partition matrix —
+        the property that keeps majority components disjoint.
+        """
+        assert self.belief is not None
+        net = self.system.network
+        up = [
+            node
+            for node in range(self.system.n_nodes)
+            if self.system.is_alive(node) and not net.in_outage(node)
+        ]
+        for observer in up:
+            self.belief.heartbeat(observer, observer, r)
+            for sender in up:
+                if sender != observer and net.can_reach(
+                    sender, observer
+                ) and net.can_reach(observer, sender):
+                    self.belief.heartbeat(observer, sender, r)
 
     def run(self, n_rounds: int | None = None) -> "FaultInjector":
         """Step through ``n_rounds`` (default: the whole plan)."""
@@ -138,6 +175,22 @@ class FaultInjector:
                 return False
             self.system.network.set_outage(node, False)
             self._note(event, "applied: radio restored")
+            return True
+        if event.kind is FaultKind.PARTITION_START:
+            matrix = PartitionMatrix.split(
+                self.system.n_nodes,
+                event.node,
+                PARTITION_MODES[int(event.magnitude)],
+            )
+            self.system.network.set_partition(matrix)
+            self._note(event, f"applied: {matrix.describe()}")
+            return True
+        if event.kind is FaultKind.PARTITION_HEAL:
+            if self.system.network.partition is None:
+                self._note(event, "skipped: fabric already whole")
+                return False
+            self.system.network.clear_partition()
+            self._note(event, "applied: fabric healed")
             return True
         if event.kind is FaultKind.NVM_BIT_ROT:
             return self._apply_bit_rot(event)

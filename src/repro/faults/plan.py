@@ -28,7 +28,17 @@ from repro.errors import ConfigurationError
 
 
 class FaultKind(enum.Enum):
-    """The fault taxonomy."""
+    """The fault taxonomy.
+
+    The two partition kinds describe *fleet-wide* link cuts rather than
+    a single node's fate: ``PARTITION_START`` installs a split whose cut
+    index rides the event's ``node`` field (side A = ids ``0..node``)
+    and whose directionality rides ``magnitude`` (see
+    :data:`PARTITION_MODES`); ``PARTITION_HEAL`` removes whatever split
+    is active.  Heal sorts *before* start within a round, so a plan that
+    heals one split and starts another in the same round nets to the new
+    split — never to a spurious fully-healed round.
+    """
 
     NODE_CRASH = "node_crash"
     NODE_REBOOT = "node_reboot"
@@ -36,6 +46,12 @@ class FaultKind(enum.Enum):
     RADIO_OUTAGE_END = "radio_outage_end"
     NVM_BIT_ROT = "nvm_bit_rot"
     CLOCK_DRIFT_SPIKE = "clock_drift_spike"
+    PARTITION_HEAL = "partition_heal"
+    PARTITION_START = "partition_start"
+
+
+#: ``magnitude`` codes for ``PARTITION_START`` events, in draw order.
+PARTITION_MODES = ("both", "a_to_b", "b_to_a")
 
 
 #: Stable intra-round ordering (reboots before crashes would be wrong, etc.).
@@ -87,6 +103,17 @@ class FaultPlan:
                 )
             if not 0 <= event.node < self.n_nodes:
                 raise ConfigurationError(f"event node {event.node} out of range")
+            if event.kind is FaultKind.PARTITION_START:
+                if not 0 <= event.node < self.n_nodes - 1:
+                    raise ConfigurationError(
+                        f"partition cut {event.node} must leave both sides "
+                        f"non-empty (0 <= cut < {self.n_nodes - 1})"
+                    )
+                if int(event.magnitude) not in range(len(PARTITION_MODES)):
+                    raise ConfigurationError(
+                        f"partition mode code {event.magnitude} outside "
+                        f"[0, {len(PARTITION_MODES)})"
+                    )
         self.events = sorted(self.events, key=_sort_key)
         self._rounds = [e.round for e in self.events]
         self._alive_transitions = self._transitions(
@@ -96,6 +123,20 @@ class FaultPlan:
             up_kind=FaultKind.RADIO_OUTAGE_END,
             down_kind=FaultKind.RADIO_OUTAGE_START,
         )
+        # global split timeline: (round, (cut, mode) | None); events are
+        # already sorted with HEAL before START, so a same-round swap
+        # collapses to the new split
+        self._partition_transitions: list[
+            tuple[int, tuple[int, str] | None]
+        ] = []
+        for event in self.events:
+            if event.kind is FaultKind.PARTITION_HEAL:
+                self._partition_transitions.append((event.round, None))
+            elif event.kind is FaultKind.PARTITION_START:
+                mode = PARTITION_MODES[int(event.magnitude)]
+                self._partition_transitions.append(
+                    (event.round, (event.node, mode))
+                )
 
     def _transitions(
         self, up_kind: FaultKind, down_kind: FaultKind
@@ -135,6 +176,25 @@ class FaultPlan:
         """Is the node's radio outside any outage window at this round?"""
         return self._state_at(self._radio_transitions[node], round_index)
 
+    @property
+    def has_partitions(self) -> bool:
+        """Does the plan schedule any link-level split?
+
+        The injector and serve wiring key on this: partition-free plans
+        keep the legacy single-belief path byte-for-byte, so existing
+        storm logs never shift.
+        """
+        return bool(self._partition_transitions)
+
+    def partition_at(self, round_index: int) -> tuple[int, str] | None:
+        """The ``(cut, mode)`` split active at this round, if any."""
+        active: tuple[int, str] | None = None
+        for when, split in self._partition_transitions:
+            if when > round_index:
+                break
+            active = split
+        return active
+
     def event_log(self) -> str:
         """The canonical textual form — byte-identical for equal plans."""
         header = (
@@ -160,16 +220,25 @@ class FaultPlan:
         rot_bits: int = 8,
         n_drift_spikes: int = 0,
         drift_spike_us: float = 50.0,
+        n_partitions: int = 0,
+        partition_rounds: int = 6,
+        partition_asymmetric: bool = True,
     ) -> "FaultPlan":
         """Draw a plan from a seeded RNG — the reproducible entry point.
 
         Crashes hit distinct nodes (a node cannot crash while down); with
         ``reboot_after`` set, each crashed node reboots that many rounds
         later (if the horizon allows).  Outage windows, bit-rot, and drift
-        spikes land uniformly over rounds and nodes.
+        spikes land uniformly over rounds and nodes.  Partitions draw a
+        cut index and (when ``partition_asymmetric``) a directionality
+        uniformly, each split healing ``partition_rounds`` later when the
+        horizon allows; split windows are spaced so at most one split is
+        active at a time (one fabric, one cut).
         """
         if n_crashes > n_nodes:
             raise ConfigurationError("cannot crash more nodes than exist")
+        if n_partitions > 0 and n_nodes < 2:
+            raise ConfigurationError("cannot partition a single-node fleet")
         rng = np.random.default_rng(seed)
         events: list[FaultEvent] = []
 
@@ -212,5 +281,40 @@ class FaultPlan:
                     magnitude=sign * drift_spike_us,
                 )
             )
+
+        if n_partitions > 0:
+            # one split per equal segment of the horizon; heals are
+            # clamped to the next segment boundary so a late heal can
+            # never erase the following segment's split (and a heal that
+            # lands on the same round as the next start nets to the new
+            # split via the HEAL-before-START intra-round order)
+            segment = n_rounds // n_partitions
+            if segment < 1:
+                raise ConfigurationError(
+                    f"{n_partitions} partitions do not fit {n_rounds} rounds"
+                )
+            for i in range(n_partitions):
+                lo = i * segment
+                span = max(1, segment - partition_rounds)
+                start = lo + int(rng.integers(0, span))
+                cut = int(rng.integers(0, n_nodes - 1))
+                mode = (
+                    int(rng.integers(0, len(PARTITION_MODES)))
+                    if partition_asymmetric
+                    else 0
+                )
+                events.append(
+                    FaultEvent(
+                        start, cut, FaultKind.PARTITION_START,
+                        magnitude=float(mode),
+                    )
+                )
+                heal = start + partition_rounds
+                if i < n_partitions - 1:
+                    heal = min(heal, (i + 1) * segment)
+                if heal < n_rounds:
+                    events.append(
+                        FaultEvent(heal, cut, FaultKind.PARTITION_HEAL)
+                    )
 
         return cls(n_nodes=n_nodes, n_rounds=n_rounds, seed=seed, events=events)

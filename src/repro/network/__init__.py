@@ -24,6 +24,7 @@ from repro.network.packet import (
     packet_airtime_ms,
     packets_needed,
 )
+from repro.network.partition import SPLIT_MODES, PartitionMatrix
 from repro.network.simulator import Delivery, TDMASimulator
 from repro.network.radio import (
     EXTERNAL_RADIO,
@@ -67,6 +68,8 @@ __all__ = [
     "PayloadKind",
     "packet_airtime_ms",
     "packets_needed",
+    "PartitionMatrix",
+    "SPLIT_MODES",
     "Delivery",
     "TDMASimulator",
     "EXTERNAL_RADIO",

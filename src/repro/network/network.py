@@ -23,6 +23,7 @@ from typing import Callable
 from repro.errors import NetworkError
 from repro.network.channel import BitErrorChannel
 from repro.network.packet import BROADCAST, Packet, PayloadKind
+from repro.network.partition import PartitionMatrix
 from repro.network.tdma import TDMAConfig
 from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 
@@ -47,6 +48,7 @@ class DeliveryOutcome(enum.Enum):
     DROPPED_HEADER = "dropped_header"
     DROPPED_PAYLOAD = "dropped_payload"
     DROPPED_OUTAGE = "dropped_outage"
+    DROPPED_PARTITION = "dropped_partition"
 
     @property
     def received(self) -> bool:
@@ -72,6 +74,7 @@ class DeliveryStats:
     dropped_header: int = 0
     dropped_payload: int = 0
     dropped_outage: int = 0
+    dropped_partition: int = 0
     delivered_corrupted: int = 0
     airtime_ms: float = 0.0
 
@@ -85,6 +88,7 @@ class DeliveryStats:
             + self.dropped_header
             + self.dropped_payload
             + self.dropped_outage
+            + self.dropped_partition
         )
         return 1.0 - self.delivered / attempts if attempts else 0.0
 
@@ -119,6 +123,7 @@ class WirelessNetwork:
                 self.tdma.radio.bit_error_rate, self.seed
             )
         self._outages: set[int] = set()
+        self._partition: PartitionMatrix | None = None
 
     def register(self, node_id: int, receiver: Receiver) -> None:
         if node_id in self._receivers:
@@ -153,6 +158,41 @@ class WirelessNetwork:
 
     def in_outage(self, node_id: int) -> bool:
         return node_id in self._outages
+
+    # -- partitions -------------------------------------------------------------
+
+    def set_partition(self, matrix: PartitionMatrix) -> None:
+        """Install a link-level partition over the medium.
+
+        Unlike an outage (one deaf node), a partition cuts *directed
+        links*: a frame whose ``src -> dst`` link the matrix blocks is
+        counted as ``dropped_partition`` at that receiver while other
+        receivers of the same burst still hear it.  Installing a new
+        matrix replaces any previous one (the plan layer nets
+        heal+split within a round to exactly this call order).
+        """
+        self._partition = matrix
+
+    def clear_partition(self) -> None:
+        """Heal the fabric: every link carries again."""
+        self._partition = None
+
+    @property
+    def partition(self) -> PartitionMatrix | None:
+        return self._partition
+
+    def can_reach(self, src: int, dst: int) -> bool:
+        """Is the directed link usable right now (partition-wise)?
+
+        Only consults the partition matrix — outages, crashes, and
+        channel noise are separate concerns layered on top.  This is
+        the primitive the round-trip liveness probes in
+        :class:`~repro.faults.health.FleetBelief` query in both
+        directions.
+        """
+        if self._partition is None:
+            return True
+        return self._partition.reachable(src, dst)
 
     @property
     def node_ids(self) -> list[int]:
@@ -196,13 +236,18 @@ class WirelessNetwork:
             tel.inc("network.payload_bytes", len(packet.payload))
             tel.advance_ms(airtime_ms)
         outcomes: dict[int, DeliveryOutcome] = {}
-        src_dark = packet.header.src in self._outages
+        src = packet.header.src
+        src_dark = src in self._outages
         for target in targets:
             if target not in self._receivers:
                 raise NetworkError(f"unknown destination {target}")
             if src_dark or target in self._outages:
                 self.stats.dropped_outage += 1
                 outcomes[target] = DeliveryOutcome.DROPPED_OUTAGE
+                continue
+            if not self.can_reach(src, target):
+                self.stats.dropped_partition += 1
+                outcomes[target] = DeliveryOutcome.DROPPED_PARTITION
                 continue
             received, _ = self.channel.transmit(packet)
             if received is not packet and packet.trace is not None:

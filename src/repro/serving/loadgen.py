@@ -328,6 +328,13 @@ def serve_session(
     the load's end still trigger coverage-SLA re-execution.  Same seed +
     same plan ⇒ byte-identical response log, with or without telemetry
     attached.
+
+    A plan that schedules partitions additionally activates the quorum
+    stack: per-node liveness views, an epoch-fenced
+    :class:`~repro.recovery.failover.FailoverManager` elected by strict
+    majority, and quorum-aware serving — while no side holds quorum the
+    server answers cache-only, and regaining quorum (heal) reschedules
+    parked below-SLA requests.
     """
     from repro.core.system import ScaloSystem
     from repro.units import WINDOW_SAMPLES
@@ -381,11 +388,37 @@ def serve_session(
         injector = FaultInjector(
             system, fault_plan, health=HealthMonitor(n_nodes)
         )
+        # Partition plans switch on the quorum stack: per-node views
+        # (the injector auto-created them), an epoch-fenced failover
+        # manager over those views, and quorum-aware serving.  Plans
+        # without partitions keep the legacy shared-belief path
+        # byte-for-byte, so existing storm logs never shift.
+        manager = None
+        if fault_plan.has_partitions:
+            manager = system.attach_failover(views=injector.belief)
+            injector.failover = manager
+            server.failover = manager
 
         def _sync_dead() -> None:
-            server.set_dead_nodes(
-                set(injector.health.dead_nodes) | set(system.dead_node_ids)
-            )
+            if manager is not None:
+                # Serve from the coordinator's vantage: its view decides
+                # which nodes waves route around.  With no coordinator
+                # seated (no majority side), the lowest ground-truth
+                # alive node fronts read-only traffic and the server is
+                # pinned cache-only via the quorum signal.
+                alive = system.alive_node_ids
+                vantage = manager.coordinator
+                if vantage is None:
+                    vantage = alive[0] if alive else 0
+                server.set_quorum(manager.coordinator is not None)
+                server.set_dead_nodes(
+                    set(injector.belief.view(vantage).dead_nodes)
+                    | set(system.dead_node_ids)
+                )
+            else:
+                server.set_dead_nodes(
+                    set(injector.health.dead_nodes) | set(system.dead_node_ids)
+                )
 
         def on_advance(t_ms: float) -> None:
             target_round = int(t_ms // round_ms)

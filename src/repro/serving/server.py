@@ -288,6 +288,10 @@ class QueryServer:
         self._next_id = 0
         self._wave_id = 0
         self._last_tier = TIER_HEALTHY
+        self._has_quorum = True
+        #: the quorum/epoch authority steering this server, when the
+        #: partition wiring attached one (chaos gates audit it)
+        self.failover = None
 
     # -- health ------------------------------------------------------------------
 
@@ -316,6 +320,33 @@ class QueryServer:
     def observe_health(self, monitor) -> None:
         """Adopt a :class:`~repro.faults.health.HealthMonitor` belief."""
         self.set_dead_nodes(monitor.dead_nodes)
+
+    def set_quorum(self, has_quorum: bool) -> None:
+        """Pin whether the fleet currently holds a coordinating quorum.
+
+        The partition wiring feeds this from the failover manager: a
+        minority side (or a fleet mid-election) must not pretend to
+        full service, so while quorum is lost every wave is forced to
+        signature-cache-only — read-only answers from local state, no
+        fleet-wide scan authority.  Regaining quorum is a recovery
+        signal like a dead-set shrink: parked below-SLA requests are
+        rescheduled so minority-parked queries re-execute after heal.
+        """
+        has_quorum = bool(has_quorum)
+        if has_quorum == self._has_quorum:
+            return
+        self._has_quorum = has_quorum
+        state = "regained" if has_quorum else "lost"
+        self._log.append(f"quorum t={self.now_ms:012.3f} state={state}")
+        tel = self.telemetry
+        if tel.enabled:
+            tel.set_gauge("serving.quorum", int(has_quorum))
+            tel.inc(f"serving.quorum.{state}")
+            tel.instant("quorum-transition", state=state)
+        if self.recorder is not None:
+            self.recorder.record("quorum", self.now_ms, state=state)
+        if has_quorum:
+            self._reschedule_parked()
 
     def _reschedule_parked(self) -> None:
         """Re-enqueue parked below-SLA requests with jittered backoff."""
@@ -523,8 +554,12 @@ class QueryServer:
         start = max(self.now_ms, max(r.arrival_ms for r in wave))
 
         # Brownout tier for this wave (tier 3 only gates new admissions;
-        # an already-admitted wave degrades to cache-only instead).
+        # an already-admitted wave degrades to cache-only instead).  A
+        # fleet without quorum is pinned to cache-only regardless of
+        # queue pressure: no coordinator, no fleet-wide scan authority.
         tier = min(self._current_tier(), TIER_CACHE_ONLY)
+        if not self._has_quorum:
+            tier = TIER_CACHE_ONLY
         cache_only = tier == TIER_CACHE_ONLY
         if tier != self._last_tier:
             self._note_tier_change(self._last_tier, tier, start)

@@ -75,6 +75,21 @@ DEFAULT_SERVING_SLOS: tuple[SLO, ...] = (
         burn_rate_thresholds=(6.0, 3.0),
         description="per-round p99 latency under 600 ms",
     ),
+    # Quiet unless the partition stack is wired: the recovery.fencing.*
+    # counters only move when an epoch fence is making decisions, and
+    # the min-events guards keep partition-free storms (mild/moderate
+    # calibration) from ever evaluating the windows.
+    SLO(
+        name="coordination-fencing",
+        objective=0.999,
+        bad_counters=("recovery.fencing.accepted_stale",),
+        total_counters=("recovery.fencing.rejected",
+                        "recovery.fencing.accepted_stale"),
+        window_rounds=(6, 32),
+        burn_rate_thresholds=(4.0, 2.0),
+        window_min_events=(4, 12),
+        description="stale-epoch checkpoint writes fenced (accepted = bad)",
+    ),
 )
 
 
