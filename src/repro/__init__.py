@@ -34,6 +34,8 @@ Package map:
   thermal model, clock sync.
 * :mod:`repro.serving` — fleet-scale query serving: admission control,
   coalescing, deadline scheduling.
+* :mod:`repro.fabric` — multi-tenant fleet fabric: consistent-hash
+  tenant routing, noisy-neighbour isolation, population queries.
 * :mod:`repro.eval` — one experiment driver per paper table/figure.
 """
 
@@ -58,6 +60,15 @@ from repro.core import (
 )
 from repro.datasets import generate_ieeg, generate_spikes
 from repro.errors import ScaloError
+from repro.fabric import (
+    FabricConfig,
+    FabricLoadConfig,
+    FabricReport,
+    FleetFabric,
+    ShardMap,
+    fabric_session,
+    run_isolation_gate,
+)
 from repro.hardware import PE_CATALOG, Fabric, ProcessingElement, get_pe
 from repro.hashing import LSHConfig, LSHFamily
 from repro.lang import QueryRuntime, compile_text, parse_query
@@ -90,6 +101,13 @@ __all__ = [
     "generate_ieeg",
     "generate_spikes",
     "ScaloError",
+    "FabricConfig",
+    "FabricLoadConfig",
+    "FabricReport",
+    "FleetFabric",
+    "ShardMap",
+    "fabric_session",
+    "run_isolation_gate",
     "PE_CATALOG",
     "Fabric",
     "ProcessingElement",

@@ -13,7 +13,14 @@ Usage::
     python -m repro serve --fault-plan moderate   # serving under a storm
     python -m repro chaos --csv out.csv # three-level fault-storm sweep
     python -m repro health moderate     # SLO verdicts + incident bundles
+    python -m repro fabric --tenants 8  # multi-tenant fleet fabric run
     python -m repro all                 # everything (slow)
+
+Every subcommand gets its own parser assembled from shared option
+groups (one definition each for ``--seed``, ``--csv``, ``--export``,
+``--health-report``, the figure knobs, the serving knobs), so flags
+validate identically everywhere and ``python -m repro <cmd> --help``
+shows only what that command accepts.
 
 ``trace`` runs a canned scenario with a live telemetry handle, prints
 the metrics/span summary tables, and with ``--export out.trace.json``
@@ -23,14 +30,20 @@ writes a Chrome trace-event file loadable in Perfetto or
 ``health`` replays one fault storm with a
 :class:`~repro.telemetry.health.HealthEngine` attached and prints the
 SLO scoreboard, fired burn-rate alerts, anomalies, and incident
-bundles; ``--health-report out.json`` (also accepted by ``serve`` and
-``chaos``) writes the full verdict as JSON.
+bundles; ``--health-report out.json`` (also accepted by ``serve``,
+``chaos``, and ``fabric``) writes the full verdict as JSON.
+
+``fabric`` runs a seeded multi-tenant load over a
+:class:`~repro.fabric.FleetFabric` — consistent-hash tenant routing,
+per-tenant admission quotas, a cross-fleet population query — and
+prints the per-tenant scoreboard with per-tenant SLO verdicts.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ScaloError
@@ -506,6 +519,77 @@ def _chaos(args) -> None:
         print(f"\nhealth report written to {path}")
 
 
+def _fabric(args) -> None:
+    from repro.eval.reporting import telemetry_summary
+    from repro.fabric import (
+        FabricConfig,
+        FabricLoadConfig,
+        fabric_session,
+        tenant_slos,
+    )
+    from repro.telemetry import Telemetry, write_metrics_csv
+    from repro.telemetry.health import DEFAULT_SERVING_SLOS, HealthEngine
+
+    config = FabricConfig(
+        n_fleets=args.fleets,
+        nodes_per_fleet=args.nodes,
+        electrodes=4,
+        seed=args.seed,
+    )
+    load = FabricLoadConfig(
+        n_tenants=args.tenants,
+        requests_per_tenant=args.requests,
+        offered_qps=args.qps,
+        seed=args.seed,
+    )
+    telemetry = Telemetry()
+    health = HealthEngine(
+        telemetry,
+        slos=tuple(DEFAULT_SERVING_SLOS) + tenant_slos(load.tenants),
+    )
+    fabric, report = fabric_session(
+        config=config, load=load, telemetry=telemetry, health=health
+    )
+    print(f"-- fleet fabric: {report.n_tenants} tenants over "
+          f"{report.n_fleets} fleets x {args.nodes} implants, "
+          f"{load.offered_qps:.0f} QPS/tenant (seed {args.seed})\n")
+    print(f"  offered    {report.offered:6d}")
+    print(f"  completed  {report.completed:6d}  "
+          f"({report.availability:.1%} available)")
+    print(f"  shed       {report.shed:6d}")
+    print(f"  misses     {report.deadline_misses:6d}")
+    print(f"  latency    mean {report.mean_latency_ms:7.1f} ms   "
+          f"p99 {report.p99_latency_ms:7.1f} ms\n")
+    print(f"  {'tenant':8s} {'fleet':>5s} {'offered':>8s} {'done':>6s} "
+          f"{'shed':>6s} {'miss':>6s} {'p50 ms':>8s} {'p99 ms':>8s} "
+          f"{'evicted':>8s}")
+    for tenant, stats in sorted(report.tenants.items()):
+        print(f"  {tenant:8s} {stats.fleet_id:5d} {stats.offered:8d} "
+              f"{stats.completed:6d} {stats.shed:6d} "
+              f"{stats.deadline_misses:6d} {stats.p50_latency_ms:8.1f} "
+              f"{stats.p99_latency_ms:8.1f} {stats.results_evicted:8d}")
+    from repro.apps.queries import QuerySpec
+
+    pop = fabric.population_query(
+        QuerySpec(kind="q1", time_range_ms=load.time_range_ms)
+    )
+    print(f"\n  population q1: {pop.n_fleets} fleets, "
+          f"latency {pop.latency_ms:.1f} ms "
+          f"(gather {pop.gather_ms:.2f} ms), "
+          f"coverage {pop.coverage:.2f}, rows {pop.n_rows}, "
+          f"shed fleets {len(pop.shed_fleets)}")
+    print()
+    _print_health_summary(health.report())
+    print()
+    print(telemetry_summary(telemetry.registry))
+    if args.csv:
+        path = write_metrics_csv(telemetry.registry, args.csv)
+        print(f"\nmetrics CSV written to {path}")
+    if args.health_report:
+        path = _write_health_report(args.health_report, health.report())
+        print(f"\nhealth report written to {path}")
+
+
 def _export(args) -> None:
     from repro.eval.export import export_all
 
@@ -544,37 +628,11 @@ def _trace(args) -> None:
         print(f"metrics CSV written to {path}")
 
 
-_COMMANDS: dict[str, Callable] = {
-    "table1": _table1,
-    "table3": _table3,
-    "fig8a": _fig8a,
-    "fig8b": _fig8b,
-    "fig8c": _fig8c,
-    "fig9a": _fig9a,
-    "fig9b": _fig9b,
-    "fig10": _fig10,
-    "fig11": _fig11,
-    "fig12": _fig12,
-    "fig13": _fig13,
-    "fig14": _fig14,
-    "fig15": _fig15,
-    "fig15a": _fig15,
-    "fig15b": _fig15,
-    "resilience": _resilience,
-    "sec62": _sec62,
-    "sec63": _sec63,
-    "export": _export,
-    "trace": _trace,
-    "recover": _recover,
-    "query": _query,
-    "serve": _serve,
-    "chaos": _chaos,
-    "health": _health,
-}
+# -- shared argparse building ------------------------------------------------------
 
 
 def _positive_float(text: str) -> float:
-    """Parse a strictly positive float (``--deadline-ms``)."""
+    """Parse a strictly positive float (``--qps``, ``--deadline-ms``)."""
     try:
         value = float(text)
     except ValueError:
@@ -584,6 +642,21 @@ def _positive_float(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"expected a positive number, got {text!r}"
+        )
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Parse a strictly positive int (``--nodes``, ``--tenants``, ...)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
         )
     return value
 
@@ -624,77 +697,222 @@ def _window_range(text: str) -> tuple[int, int]:
     return start, stop
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate SCALO's tables and figures.",
-    )
-    parser.add_argument("target", help="'list', 'all', or one of: "
-                        + ", ".join(sorted(set(_COMMANDS))))
-    parser.add_argument("scenario", nargs="?", default=None,
-                        help="scenario name for 'trace' (default: seizure); "
-                             "storm level for 'health' (default: moderate); "
-                             "'partition' for 'chaos' runs the split-brain "
-                             "storm instead of the sweep")
-    parser.add_argument("--nodes", type=int, default=11)
-    parser.add_argument("--power", type=float, default=15.0)
-    parser.add_argument("--pairs", type=int, default=300)
-    parser.add_argument("--packets", type=int, default=400)
-    parser.add_argument("--reps", type=int, default=500)
+def _opt_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0,
-                        help="scenario seed for 'trace'")
-    parser.add_argument("--export", default=None, metavar="PATH",
-                        help="write a Chrome trace-event JSON ('trace')")
-    parser.add_argument("--csv", default=None, metavar="PATH",
-                        help="write the metrics registry as CSV ('trace')")
-    parser.add_argument("--out", default="results",
-                        help="output directory for 'export'")
-    parser.add_argument("--qps", type=float, default=40.0,
-                        help="offered load for 'serve' (queries/s)")
-    parser.add_argument("--requests", type=int, default=64,
-                        help="number of requests 'serve' offers")
-    parser.add_argument("--queue", type=int, default=16,
-                        help="admission queue bound for 'serve'")
+                        help="deterministic run seed")
+
+
+def _opt_export(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--export", type=_writable_path, default=None,
+                        metavar="PATH",
+                        help="write a Chrome trace-event JSON")
+
+
+def _opt_csv(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--csv", type=_writable_path, default=None,
+                        metavar="PATH",
+                        help="write the metrics registry as CSV")
+
+
+def _opt_health_report(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--health-report", type=_writable_path, default=None,
+                        metavar="PATH",
+                        help="write the SLO verdict + incident bundles "
+                             "as JSON")
+
+
+def _opt_fig(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=_positive_int, default=11,
+                        help="implant count")
+    parser.add_argument("--power", type=_positive_float, default=15.0,
+                        help="per-node power budget (mW)")
+    parser.add_argument("--pairs", type=_positive_int, default=300,
+                        help="window pairs for hash-accuracy sweeps")
+    parser.add_argument("--packets", type=_positive_int, default=400,
+                        help="packets per BER point")
+    parser.add_argument("--reps", type=_positive_int, default=500,
+                        help="Monte-Carlo repetitions")
+
+
+def _opt_query(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=_positive_int, default=11,
+                        help="implant count")
+    parser.add_argument("--range", type=_window_range, default=None,
+                        metavar="START:STOP",
+                        help="window-index range to query")
+
+
+def _opt_serve(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--qps", type=_positive_float, default=40.0,
+                        help="offered load (queries/s)")
+    parser.add_argument("--requests", type=_positive_int, default=64,
+                        help="number of requests to offer")
+    parser.add_argument("--queue", type=_positive_int, default=16,
+                        help="admission queue bound")
     parser.add_argument("--serial", action="store_true",
-                        help="disable coalescing for 'serve'")
+                        help="disable coalescing")
     parser.add_argument("--deadline-ms", type=_positive_float, default=250.0,
-                        help="relative request deadline for 'serve' "
-                             "(simulated ms)")
+                        help="relative request deadline (simulated ms)")
     parser.add_argument("--fault-plan", default=None,
                         choices=("none", "mild", "moderate", "severe",
                                  "partition"),
-                        help="replay a fault-storm preset under 'serve' "
+                        help="replay a fault-storm preset under the load "
                              "(enables retries/brownout; 'partition' also "
                              "attaches the quorum/epoch stack)")
-    parser.add_argument("--range", type=_window_range, default=None,
-                        metavar="START:STOP",
-                        help="window-index range for 'query'")
-    parser.add_argument("--health-report", type=_writable_path, default=None,
-                        metavar="PATH",
-                        help="write the SLO verdict + incident bundles as "
-                             "JSON ('serve', 'chaos', 'health')")
-    args = parser.parse_args(argv)
 
-    if args.target == "list":
+
+def _opt_fabric(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tenants", type=_positive_int, default=8,
+                        help="tenants sharing the fabric")
+    parser.add_argument("--fleets", type=_positive_int, default=4,
+                        help="independent patient fleets")
+    parser.add_argument("--nodes", type=_positive_int, default=3,
+                        help="implant count per fleet")
+    parser.add_argument("--qps", type=_positive_float, default=4.0,
+                        help="offered load per tenant (queries/s)")
+    parser.add_argument("--requests", type=_positive_int, default=16,
+                        help="requests offered per tenant")
+
+
+def _opt_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", default="results",
+                        help="output directory")
+
+
+@dataclass(frozen=True)
+class _Command:
+    """One subcommand: its handler plus the option groups it accepts."""
+
+    handler: Callable
+    help: str
+    options: tuple[Callable, ...] = ()
+    #: help text for the optional positional (None = no positional)
+    scenario_help: str | None = None
+
+
+_FIG_OPTIONS = (_opt_fig,)
+
+_COMMANDS: dict[str, _Command] = {
+    "table1": _Command(_table1, "PE catalog (Table 1)", _FIG_OPTIONS),
+    "table3": _Command(_table3, "application pipelines (Table 3)",
+                       _FIG_OPTIONS),
+    "fig8a": _Command(_fig8a, "architecture comparison", _FIG_OPTIONS),
+    "fig8b": _Command(_fig8b, "throughput vs power/nodes", _FIG_OPTIONS),
+    "fig8c": _Command(_fig8c, "application throughput surfaces",
+                      _FIG_OPTIONS),
+    "fig9a": _Command(_fig9a, "latency vs node count", _FIG_OPTIONS),
+    "fig9b": _Command(_fig9b, "throughput vs node count", _FIG_OPTIONS),
+    "fig10": _Command(_fig10, "query cost model", _FIG_OPTIONS),
+    "fig11": _Command(_fig11, "hash accuracy", _FIG_OPTIONS),
+    "fig12": _Command(_fig12, "network error rates", _FIG_OPTIONS),
+    "fig13": _Command(_fig13, "radio design-space exploration",
+                      _FIG_OPTIONS),
+    "fig14": _Command(_fig14, "hash parameter sweeps", _FIG_OPTIONS),
+    "fig15": _Command(_fig15, "delay Monte-Carlo", _FIG_OPTIONS),
+    "fig15a": _Command(_fig15, "delay Monte-Carlo", _FIG_OPTIONS),
+    "fig15b": _Command(_fig15, "delay Monte-Carlo", _FIG_OPTIONS),
+    "resilience": _Command(_resilience, "ARQ/crash resilience sweeps",
+                           _FIG_OPTIONS),
+    "sec62": _Command(_sec62, "local task throughput", _FIG_OPTIONS),
+    "sec63": _Command(_sec63, "application scalars", _FIG_OPTIONS),
+    "export": _Command(_export, "write every table/figure to disk",
+                       (_opt_out,)),
+    "trace": _Command(_trace, "run a scenario under telemetry",
+                      (_opt_seed, _opt_export, _opt_csv),
+                      scenario_help="scenario name (default: seizure)"),
+    "recover": _Command(_recover, "crash + reboot + resync smoke run",
+                        (_opt_seed, _opt_export, _opt_csv)),
+    "query": _Command(_query, "Q1/Q2/Q3 over a live fleet",
+                      (_opt_query, _opt_seed)),
+    "serve": _Command(_serve, "open-loop load against the query server",
+                      (_opt_serve, _opt_seed, _opt_csv, _opt_health_report)),
+    "chaos": _Command(_chaos, "fault-storm sweep (or partition storm)",
+                      (_opt_seed, _opt_csv, _opt_health_report),
+                      scenario_help="'partition' runs the split-brain storm; "
+                                    "no argument runs the three-level sweep"),
+    "health": _Command(_health, "SLO verdicts + incident bundles",
+                       (_opt_seed, _opt_health_report),
+                       scenario_help="storm level (default: moderate)"),
+    "fabric": _Command(_fabric, "multi-tenant fleet fabric run",
+                       (_opt_fabric, _opt_seed, _opt_csv,
+                        _opt_health_report)),
+}
+
+#: commands `all` runs (the quick, print-only figure/table family)
+_ALL_EXCLUDES = frozenset({
+    "fig15a", "fig15b", "export", "trace", "recover", "query", "serve",
+    "chaos", "health", "fabric",
+})
+
+
+def _build_parser(name: str, command: _Command) -> argparse.ArgumentParser:
+    """One subcommand parser from the shared option groups."""
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro {name}",
+        description=command.help,
+    )
+    if command.scenario_help is not None:
+        parser.add_argument("scenario", nargs="?", default=None,
+                            help=command.scenario_help)
+    for add_options in command.options:
+        add_options(parser)
+    return parser
+
+
+def _top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate SCALO's tables and figures.",
+        epilog="Run 'python -m repro <target> --help' for per-command "
+               "options.",
+    )
+    parser.add_argument("target", help="'list', 'all', or one of: "
+                        + ", ".join(sorted(set(_COMMANDS))))
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    top = _top_parser()
+    if not argv or argv[0] in ("-h", "--help"):
+        if argv:
+            top.print_help()
+            return 0
+        top.print_usage(sys.stderr)
+        print(f"{top.prog}: error: the following arguments are required: "
+              "target", file=sys.stderr)
+        return 2
+    target, rest = argv[0], argv[1:]
+
+    if target == "list":
         for name in sorted(set(_COMMANDS)):
             print(name)
         return 0
-    try:
-        if args.target == "all":
-            for name in sorted(set(_COMMANDS) - {"fig15a", "fig15b", "export",
-                                                 "trace", "recover", "query",
-                                                 "serve", "chaos", "health"}):
+    if target == "all":
+        parser = argparse.ArgumentParser(prog="python -m repro all")
+        _opt_fig(parser)
+        args = parser.parse_args(rest)
+        try:
+            for name in sorted(set(_COMMANDS) - _ALL_EXCLUDES):
                 print(f"\n===== {name} =====")
-                _COMMANDS[name](args)
-            return 0
-        command = _COMMANDS.get(args.target)
-        if command is None:
-            print(f"unknown target {args.target!r}; available commands:",
-                  file=sys.stderr)
-            for name in ("list", "all", *sorted(set(_COMMANDS))):
-                print(f"  {name}", file=sys.stderr)
+                _COMMANDS[name].handler(args)
+        except ScaloError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            parser.print_usage(sys.stderr)
             return 2
-        command(args)
+        return 0
+
+    command = _COMMANDS.get(target)
+    if command is None:
+        print(f"unknown target {target!r}; available commands:",
+              file=sys.stderr)
+        for name in ("list", "all", *sorted(set(_COMMANDS))):
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    parser = _build_parser(target, command)
+    args = parser.parse_args(rest)
+    try:
+        command.handler(args)
     except ScaloError as exc:
         print(f"error: {exc}", file=sys.stderr)
         parser.print_usage(sys.stderr)

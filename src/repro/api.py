@@ -19,6 +19,15 @@ circuit breakers (:class:`~repro.serving.BreakerConfig`), graded
 brownout tiers (:class:`~repro.serving.BrownoutConfig`), and the
 :func:`~repro.eval.chaos.chaos_sweep` fault-storm harness.
 
+Multi-tenant deployments go one level up: :func:`build_fabric` runs
+many independent fleets behind one tenant-aware serving plane,
+:func:`run_fleet_query` routes a tenant's query to its owning fleet
+(consistent-hash shard map, per-tenant admission quotas, partitioned
+result retention), and :func:`run_population_query` scatter-gathers one
+query across every fleet with partial-coverage merge.
+:func:`build_system`/:func:`run_query` remain the unchanged
+single-tenant path.
+
 Everything re-exported here is covered by the deprecation policy: the
 deeper module paths may shuffle between releases, ``repro.api`` does not.
 """
@@ -29,46 +38,233 @@ import numpy as np
 
 from repro.apps.queries import (
     DistributedQueryResult,
+    QueryCostModel,
     QueryEngine,
     QueryResultRow,
     QuerySpec,
 )
 from repro.core.system import ScaloSystem
-from repro.errors import QueryRejected
+from repro.errors import QueryRejected, ScaloError
+from repro.eval.chaos import (
+    FAULT_PRESETS,
+    MILD,
+    MODERATE,
+    PARTITION,
+    SEVERE,
+    STORM_LEVELS,
+    ChaosConfig,
+    ChaosReport,
+    PartitionInvariants,
+    PartitionStormReport,
+    StormLevel,
+    StormResult,
+    chaos_sweep,
+    partition_config,
+    run_partition_storm,
+    run_storm,
+)
+from repro.fabric import (
+    POPULATION_CLIENT,
+    FabricConfig,
+    FabricLoadConfig,
+    FabricReport,
+    FleetAnswer,
+    FleetFabric,
+    FleetShard,
+    IsolationConfig,
+    IsolationResult,
+    PopulationResult,
+    ShardMap,
+    TenantStats,
+    fabric_session,
+    generate_tenant_arrivals,
+    run_fabric_load,
+    run_isolation_gate,
+    tenant_name,
+    tenant_slos,
+)
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FleetBelief,
+    HealthMonitor,
+)
+from repro.network import SPLIT_MODES, PartitionMatrix
+from repro.recovery import (
+    FailoverEvent,
+    FailoverManager,
+    JournalRecord,
+    WriteAheadJournal,
+)
 from repro.serving import (
+    TIER_CACHE_ONLY,
+    TIER_HEALTHY,
+    TIER_NAMES,
+    TIER_REDUCED,
+    TIER_REJECT,
+    AdmissionController,
+    Arrival,
+    BreakerBoard,
     BreakerConfig,
+    BreakerState,
     BrownoutConfig,
+    BrownoutController,
+    CircuitBreaker,
     LoadGenConfig,
+    QueryRequest,
+    QueryResponse,
     QueryServer,
     RetryPolicy,
     ServeReport,
     ServerConfig,
+    ServingStats,
+    TokenBucket,
+    final_responses,
+    generate_arrivals,
+    per_client_responses,
+    percentile,
+    run_open_loop,
     serve_session,
+    summarise,
 )
 from repro.telemetry import NULL_TELEMETRY, Telemetry, TelemetryLike
+from repro.telemetry.health import (
+    DEFAULT_SERVING_SLOS,
+    SLO,
+    Alert,
+    Anomaly,
+    AnomalyConfig,
+    AnomalyDetector,
+    BurnRateWindow,
+    FlightRecorder,
+    HealthConfig,
+    HealthEngine,
+    QuantileSketch,
+    SLOEngine,
+    SLOStatus,
+)
 from repro.telemetry.scenarios import SCENARIOS, run_scenario
 from repro.units import WINDOW_MS
 
 __all__ = [
+    # single-tenant entry points
     "build_system",
     "run_query",
     "run_scenario",
     "serve_session",
+    # multi-tenant entry points
+    "build_fabric",
+    "run_fleet_query",
+    "run_population_query",
+    "fabric_session",
+    # core types
     "SCENARIOS",
     "ScaloSystem",
+    "ScaloError",
     "QuerySpec",
+    "QueryCostModel",
     "QueryEngine",
     "QueryRejected",
     "QueryResultRow",
-    "QueryServer",
-    "BreakerConfig",
-    "BrownoutConfig",
     "DistributedQueryResult",
+    "WINDOW_MS",
+    # serving (PR 5)
+    "AdmissionController",
+    "Arrival",
     "LoadGenConfig",
-    "RetryPolicy",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryServer",
     "ServeReport",
     "ServerConfig",
+    "ServingStats",
+    "TokenBucket",
+    "final_responses",
+    "generate_arrivals",
+    "per_client_responses",
+    "percentile",
+    "run_open_loop",
+    "summarise",
+    # chaos hardening (PR 6)
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "BrownoutConfig",
+    "BrownoutController",
+    "ChaosConfig",
+    "ChaosReport",
+    "CircuitBreaker",
+    "FAULT_PRESETS",
+    "MILD",
+    "MODERATE",
+    "PARTITION",
+    "SEVERE",
+    "STORM_LEVELS",
+    "StormLevel",
+    "StormResult",
+    "RetryPolicy",
+    "TIER_CACHE_ONLY",
+    "TIER_HEALTHY",
+    "TIER_NAMES",
+    "TIER_REDUCED",
+    "TIER_REJECT",
+    "chaos_sweep",
+    "run_storm",
+    # fleet health (PR 7)
+    "Alert",
+    "Anomaly",
+    "AnomalyConfig",
+    "AnomalyDetector",
+    "BurnRateWindow",
+    "DEFAULT_SERVING_SLOS",
+    "FlightRecorder",
+    "HealthConfig",
+    "HealthEngine",
+    "QuantileSketch",
+    "SLO",
+    "SLOEngine",
+    "SLOStatus",
+    # partitions + coordination (PR 8)
+    "FailoverEvent",
+    "FailoverManager",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FleetBelief",
+    "HealthMonitor",
+    "JournalRecord",
+    "PartitionInvariants",
+    "PartitionMatrix",
+    "PartitionStormReport",
+    "SPLIT_MODES",
+    "WriteAheadJournal",
+    "partition_config",
+    "run_partition_storm",
+    # fleet fabric (PR 9)
+    "FabricConfig",
+    "FabricLoadConfig",
+    "FabricReport",
+    "FleetAnswer",
+    "FleetFabric",
+    "FleetShard",
+    "IsolationConfig",
+    "IsolationResult",
+    "POPULATION_CLIENT",
+    "PopulationResult",
+    "ShardMap",
+    "TenantStats",
+    "generate_tenant_arrivals",
+    "run_fabric_load",
+    "run_isolation_gate",
+    "tenant_name",
+    "tenant_slos",
+    # telemetry
+    "NULL_TELEMETRY",
     "Telemetry",
+    "TelemetryLike",
 ]
 
 
@@ -143,4 +339,123 @@ def run_query(
     run = system.query_distributed if distributed else system.query
     return run(
         spec, window_range, template=template, seizure_flags=seizure_flags
+    )
+
+
+def build_fabric(
+    n_fleets: int = 4,
+    nodes_per_fleet: int = 4,
+    seed: int = 0,
+    *,
+    electrodes: int = 8,
+    n_windows: int = 4,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
+    **overrides,
+) -> FleetFabric:
+    """Assemble a multi-tenant :class:`~repro.fabric.FleetFabric`.
+
+    Each of the ``n_fleets`` fleets is an independent, pre-ingested
+    :class:`ScaloSystem` seeded ``seed + fleet_id`` behind its own
+    tenant-isolated :class:`~repro.serving.QueryServer`; tenants route
+    to fleets via a consistent-hash shard map.
+
+    Args:
+        n_fleets: fleets (patient sites) in the fabric.
+        nodes_per_fleet: implant count per fleet.
+        seed: fabric seed; fleet ``i`` runs at ``seed + i``.
+        electrodes: electrodes per implant.
+        n_windows: pre-ingested windows per fleet.
+        telemetry: optional shared :class:`~repro.telemetry.Telemetry`
+            handle (per-tenant ``fabric.*`` counters land on it).
+        **overrides: any further :class:`~repro.fabric.FabricConfig`
+            field (``tenant_queue_quota``, ``gather_base_ms``, ...).
+    """
+    config = FabricConfig(
+        n_fleets=n_fleets,
+        nodes_per_fleet=nodes_per_fleet,
+        electrodes=electrodes,
+        n_windows=n_windows,
+        seed=seed,
+        **overrides,
+    )
+    return FleetFabric(config=config, telemetry=telemetry)
+
+
+def _resolve_spec(
+    kind: str | QuerySpec,
+    window_range: tuple[int, int] | None,
+    time_range_ms: float | None,
+) -> QuerySpec:
+    if isinstance(kind, QuerySpec):
+        return kind
+    if time_range_ms is None:
+        if window_range is not None:
+            start, stop = window_range
+            time_range_ms = max(stop - start, 1) * WINDOW_MS
+        else:
+            time_range_ms = WINDOW_MS
+    return QuerySpec(kind=kind, time_range_ms=time_range_ms)
+
+
+def run_fleet_query(
+    fabric: FleetFabric,
+    tenant: str,
+    kind: str | QuerySpec,
+    window_range: tuple[int, int] | None = None,
+    *,
+    template: np.ndarray | None = None,
+    deadline_ms: float | None = None,
+    min_coverage: float | None = None,
+    time_range_ms: float | None = None,
+) -> QueryResponse:
+    """Run one tenant query through its owning fleet's serving plane.
+
+    Routes via the shard map, submits through admission control (a shed
+    raises :class:`~repro.errors.QueryRejected` with the fleet's
+    reason), dispatches, and returns the tenant's
+    :class:`~repro.serving.QueryResponse`.  ``kind`` is a query kind
+    string or a pre-built :class:`QuerySpec`; ``window_range`` defaults
+    to the fleet's full ingested range.
+    """
+    spec = _resolve_spec(kind, window_range, time_range_ms)
+    fleet_id, request_id = fabric.submit(
+        tenant,
+        spec,
+        window_range=window_range,
+        template=template,
+        deadline_ms=deadline_ms,
+        min_coverage=min_coverage,
+    )
+    shard = fabric.shards[fleet_id]
+    shard.server.drain()
+    return next(
+        r
+        for r in reversed(shard.server.responses)
+        if r.request_id == request_id
+    )
+
+
+def run_population_query(
+    fabric: FleetFabric,
+    kind: str | QuerySpec,
+    window_range: tuple[int, int] | None = None,
+    *,
+    template: np.ndarray | None = None,
+    min_coverage: float = 0.0,
+    fleets: tuple[int, ...] | None = None,
+    time_range_ms: float | None = None,
+) -> PopulationResult:
+    """Scatter one query across fleets, gather with coverage merge.
+
+    The cross-fleet entry point: submits through every targeted fleet's
+    serving plane concurrently and merges with node-weighted partial
+    coverage (a shed or degraded fleet lowers ``coverage`` instead of
+    failing the query — gate on ``result.sla_met``).
+    """
+    spec = _resolve_spec(kind, window_range, time_range_ms)
+    return fabric.population_query(
+        spec,
+        template=template,
+        min_coverage=min_coverage,
+        fleets=fleets,
     )

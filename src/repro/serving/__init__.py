@@ -23,6 +23,8 @@ from repro.serving.loadgen import (
     ServeReport,
     final_responses,
     generate_arrivals,
+    per_client_responses,
+    percentile,
     run_open_loop,
     serve_session,
     summarise,
@@ -75,6 +77,8 @@ __all__ = [
     "TokenBucket",
     "final_responses",
     "generate_arrivals",
+    "per_client_responses",
+    "percentile",
     "run_open_loop",
     "serve_session",
     "summarise",

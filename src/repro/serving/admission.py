@@ -12,7 +12,14 @@ milliseconds:
   request and refills at ``refill_per_s``, so one chatty client cannot
   starve the fleet's shared scan/radio budget.
 
-Both are pure bookkeeping over caller-supplied timestamps: no wall
+A third, optional gate serves the multi-tenant fabric: a **per-client
+queue quota** bounds how many *pending* requests any single client may
+hold, so a tenant that floods faster than its bucket refills can fill
+at most its share of the shared admission queue — the rest of the queue
+stays available to well-behaved tenants (shed reason
+``"tenant_quota"``).
+
+All gates are pure bookkeeping over caller-supplied timestamps: no wall
 clock, no randomness, so admission decisions are a deterministic
 function of the arrival sequence.
 """
@@ -74,11 +81,18 @@ class AdmissionController:
     max_queue: int = 16
     bucket_capacity: float = 32.0
     bucket_refill_per_s: float = 100.0
+    #: pending requests any one client may hold (None = no quota)
+    max_pending_per_client: int | None = None
     _buckets: dict[str, TokenBucket] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
             raise ConfigurationError("admission queue bound must be positive")
+        if (
+            self.max_pending_per_client is not None
+            and self.max_pending_per_client < 1
+        ):
+            raise ConfigurationError("per-client queue quota must be positive")
 
     def bucket(self, client: str) -> TokenBucket:
         bucket = self._buckets.get(client)
@@ -89,16 +103,28 @@ class AdmissionController:
         return bucket
 
     def admit(
-        self, client: str, now_ms: float, queue_depth: int
+        self,
+        client: str,
+        now_ms: float,
+        queue_depth: int,
+        client_pending: int = 0,
     ) -> tuple[str, float] | None:
         """Gate one request; returns ``None`` on admit.
 
         On shed, returns ``(reason, retry_after_ms)``.  The queue bound
-        is checked before the bucket so a rejected-for-capacity request
-        does not also burn one of the client's tokens.
+        is checked before the per-client gates so a rejected-for-capacity
+        request does not also burn one of the client's tokens, and the
+        queue quota is checked before the bucket for the same reason: a
+        tenant over its pending share keeps its tokens for when its own
+        backlog drains.
         """
         if queue_depth >= self.max_queue:
             return "queue_full", 0.0
+        if (
+            self.max_pending_per_client is not None
+            and client_pending >= self.max_pending_per_client
+        ):
+            return "tenant_quota", 0.0
         bucket = self.bucket(client)
         if not bucket.try_take(now_ms):
             return "rate_limited", bucket.retry_after_ms(now_ms)

@@ -167,6 +167,29 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[rank - 1]
 
 
+def percentile(values, q: float) -> float:
+    """Deterministic nearest-rank percentile over unsorted ``values``.
+
+    The one percentile definition every serving/fabric report uses, so
+    per-tenant and per-fleet numbers are always comparable.
+    """
+    return _percentile(sorted(float(v) for v in values), q)
+
+
+def per_client_responses(
+    server: QueryServer,
+) -> dict[str, list[QueryResponse]]:
+    """Each client's *final* answers, grouped and id-ordered.
+
+    The per-tenant view of :func:`final_responses` — what the fabric's
+    tenant reports and the isolation gate aggregate over.
+    """
+    grouped: dict[str, list[QueryResponse]] = {}
+    for response in final_responses(server):
+        grouped.setdefault(response.client, []).append(response)
+    return grouped
+
+
 def final_responses(server: QueryServer) -> list[QueryResponse]:
     """Each request's latest answer (re-executions supersede), id-ordered."""
     final: dict[int, QueryResponse] = {}

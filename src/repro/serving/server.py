@@ -114,6 +114,14 @@ class ServerConfig:
     log_retention: int = 4096
     #: coverage SLA stamped on requests that do not carry one
     default_min_coverage: float = 0.0
+    #: pending requests any one client may hold in the queue (None = no
+    #: quota) — the fabric's tenant-isolation gate: a flooding tenant
+    #: fills at most this share of the shared admission queue
+    per_client_queue_quota: int | None = None
+    #: partition the result-retention LRU by client: each client gets
+    #: its own ``result_retention``-bounded LRU, so one tenant's churn
+    #: can never evict another tenant's retained answers
+    partition_results_by_client: bool = False
     #: per-node circuit breakers (None disables latching entirely)
     breaker: BreakerConfig | None = field(default_factory=BreakerConfig)
     #: graded-degradation controller (None = always serve tier 0)
@@ -140,6 +148,11 @@ class ServerConfig:
             raise ConfigurationError("log retention must be positive")
         if not 0 <= self.default_min_coverage <= 1:
             raise ConfigurationError("coverage SLA must be in [0, 1]")
+        if (
+            self.per_client_queue_quota is not None
+            and self.per_client_queue_quota < 1
+        ):
+            raise ConfigurationError("per-client queue quota must be positive")
 
 
 @dataclass
@@ -162,6 +175,10 @@ class ServingStats:
     brownout_rejections: int = 0
     #: waves served at each brownout tier
     brownout_waves: dict[int, int] = field(default_factory=dict)
+    #: retained results evicted, per client (only populated when the
+    #: retention LRU is partitioned by client — the isolation gate's
+    #: "zero victim evictions" evidence)
+    results_evicted_by_client: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -268,6 +285,7 @@ class QueryServer:
             max_queue=self.config.max_queue,
             bucket_capacity=self.config.bucket_capacity,
             bucket_refill_per_s=self.config.bucket_refill_per_s,
+            max_pending_per_client=self.config.per_client_queue_quota,
         )
         self.breakers = (
             BreakerBoard(self.config.breaker)
@@ -282,6 +300,10 @@ class QueryServer:
         self._pending: list[QueryRequest] = []
         self._parked: list[QueryRequest] = []
         self._results: dict[int, DistributedQueryResult] = {}
+        #: client-partitioned retention (used instead of ``_results``
+        #: when ``partition_results_by_client`` is set)
+        self._results_by_client: dict[str, dict[int, DistributedQueryResult]] = {}
+        self._client_of: dict[int, str] = {}
         self._evicted: set[int] = set()
         self._log: deque[str] = deque(maxlen=self.config.log_retention)
         self._dead: set[int] = set()
@@ -431,7 +453,10 @@ class QueryServer:
                 its token rate.
         """
         at = self.now_ms if arrival_ms is None else float(arrival_ms)
-        shed = self._admission.admit(client, at, len(self._pending))
+        client_pending = sum(1 for r in self._pending if r.client == client)
+        shed = self._admission.admit(
+            client, at, len(self._pending), client_pending
+        )
         if shed is not None:
             raise self._shed(client, spec, at, *shed)
         if self.brownout is not None and self._current_tier() >= TIER_REJECT:
@@ -646,7 +671,7 @@ class QueryServer:
                 attempt=request.attempt,
                 min_coverage=request.min_coverage,
             )
-            self._store_result(request.request_id, result)
+            self._store_result(request.request_id, result, request.client)
             self.responses.append(response)
             self._log.append(response.log_line())
             responses.append(response)
@@ -706,17 +731,33 @@ class QueryServer:
     # -- results -----------------------------------------------------------------
 
     def _store_result(
-        self, request_id: int, result: DistributedQueryResult
+        self, request_id: int, result: DistributedQueryResult,
+        client: str = "",
     ) -> None:
-        """Retain one result, evicting least-recently-used past the bound."""
-        self._results.pop(request_id, None)
-        self._results[request_id] = result
+        """Retain one result, evicting least-recently-used past the bound.
+
+        With ``partition_results_by_client`` each client owns its own
+        LRU of ``result_retention`` entries, so eviction pressure never
+        crosses a tenant boundary — one tenant churning through answers
+        evicts only its own.
+        """
+        if self.config.partition_results_by_client:
+            store = self._results_by_client.setdefault(client, {})
+            self._client_of[request_id] = client
+        else:
+            store = self._results
+        store.pop(request_id, None)
+        store[request_id] = result
         self._evicted.discard(request_id)
-        while len(self._results) > self.config.result_retention:
-            evicted_id = next(iter(self._results))
-            del self._results[evicted_id]
+        while len(store) > self.config.result_retention:
+            evicted_id = next(iter(store))
+            del store[evicted_id]
             self._evicted.add(evicted_id)
             self.stats.results_evicted += 1
+            if self.config.partition_results_by_client:
+                self._client_of.pop(evicted_id, None)
+                by_client = self.stats.results_evicted_by_client
+                by_client[client] = by_client.get(client, 0) + 1
             if self.telemetry.enabled:
                 self.telemetry.inc("serving.results.evicted")
 
@@ -727,7 +768,16 @@ class QueryServer:
             KeyError: the id was never completed, or its result aged out
                 of the ``result_retention`` LRU bound.
         """
-        result = self._results.get(request_id)
+        if self.config.partition_results_by_client:
+            client = self._client_of.get(request_id)
+            store = (
+                self._results_by_client.get(client, {})
+                if client is not None
+                else {}
+            )
+        else:
+            store = self._results
+        result = store.get(request_id)
         if result is None:
             if request_id in self._evicted:
                 raise KeyError(
@@ -737,8 +787,8 @@ class QueryServer:
                 )
             raise KeyError(f"no completed request with id {request_id}")
         # LRU refresh: re-insert at the most-recently-used position.
-        del self._results[request_id]
-        self._results[request_id] = result
+        del store[request_id]
+        store[request_id] = result
         return result
 
     def response_log(self) -> str:

@@ -53,6 +53,18 @@ BAD_INVOCATIONS = [
     pytest.param(("chaos", "--health-report", "reports/"),
                  id="chaos-health-report-trailing-slash"),
     pytest.param(("recover", "--seed", "x"), id="recover-seed-not-an-int"),
+    pytest.param(("fabric", "--tenants", "0"), id="fabric-zero-tenants"),
+    pytest.param(("fabric", "--tenants", "-3"),
+                 id="fabric-negative-tenants"),
+    pytest.param(("fabric", "--fleets", "0"), id="fabric-zero-fleets"),
+    pytest.param(("fabric", "--qps", "abc"), id="fabric-qps-not-a-number"),
+    pytest.param(("fabric", "--qps", "0"), id="fabric-zero-qps"),
+    pytest.param(("fabric", "--csv", "/nonexistent/dir/m.csv"),
+                 id="fabric-csv-missing-parent"),
+    pytest.param(("serve", "--csv", "/nonexistent/dir/m.csv"),
+                 id="serve-csv-missing-parent"),
+    pytest.param(("trace", "--export", "traces/"),
+                 id="trace-export-trailing-slash"),
     pytest.param(("nosuchtarget",), id="unknown-target"),
 ]
 
@@ -72,3 +84,32 @@ def test_good_invocation_still_exits_0():
     proc = _run("list")
     assert proc.returncode == 0
     assert "serve" in proc.stdout.split()
+    assert "fabric" in proc.stdout.split()
+
+
+def test_subcommand_help_shows_only_its_options():
+    proc = _run("fabric", "--help")
+    assert proc.returncode == 0
+    assert "--tenants" in proc.stdout
+    assert "--fault-plan" not in proc.stdout  # serve's flags stay on serve
+    proc = _run("serve", "--help")
+    assert proc.returncode == 0
+    assert "--fault-plan" in proc.stdout
+    assert "--tenants" not in proc.stdout
+
+
+def test_fabric_happy_path(tmp_path):
+    csv = tmp_path / "fabric-metrics.csv"
+    report = tmp_path / "fabric-health.json"
+    proc = _run(
+        "fabric", "--tenants", "3", "--fleets", "2", "--nodes", "2",
+        "--requests", "3", "--csv", str(csv), "--health-report", str(report),
+    )
+    assert proc.returncode == 0, (proc.stdout, proc.stderr)
+    assert "fleet fabric" in proc.stdout
+    assert "population q1" in proc.stdout
+    assert "fabric.t00.submitted" in csv.read_text()
+    import json
+
+    doc = json.loads(report.read_text())
+    assert any(s["slo"].startswith("fabric-t00") for s in doc["slos"])
