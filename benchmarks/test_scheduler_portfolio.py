@@ -1,0 +1,143 @@
+"""Scheduler portfolio: the gap x solve-time gates at fleet scale.
+
+The portfolio replaces the per-failover LP solve with seeded heuristics
+plus incremental repair, and that trade is only sound if it is
+*measured*: this benchmark runs the canonical
+:func:`~repro.eval.scheduler_sweep.gap_sweep` across every sweep
+workload up to 1024 nodes and the
+:func:`~repro.eval.scheduler_sweep.repair_speedup` crash/repair
+comparison, then records everything to ``BENCH_scheduler.json`` at the
+repo root.
+
+All timings are wall-clock milliseconds (best of ``SCHED_BENCH_REPEATS``
+runs); gaps are exact objective ratios against the LP optimum.  Gates,
+asserted hard:
+
+* every feasible cell lands within 5 % of the exact ILP objective;
+* the deployed policies (``auto`` and ``flow``) are >= 10x faster than
+  the ILP at 256+ nodes;
+* incremental failover repair is >= 5x faster than a from-scratch ILP
+  re-solve of the post-crash instance;
+* ``auto`` is byte-identical across repeat runs at equal seeds.
+
+CI runs a reduced-scale smoke via ``SCHED_BENCH_MAX_NODES`` /
+``SCHED_BENCH_REPEATS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.eval.scheduler_sweep import (
+    GATE_MAX_GAP,
+    GATE_MIN_SPEEDUP,
+    GATE_NODE_FLOOR,
+    REPAIR_GATE_MIN_SPEEDUP,
+    SWEEP_NODE_COUNTS,
+    SchedulerProblem,
+    gap_sweep,
+    repair_speedup,
+    sweep_flows,
+)
+from repro.telemetry import Telemetry
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+)
+
+SEED = 0
+MAX_NODES = int(os.environ.get("SCHED_BENCH_MAX_NODES", "1024"))
+REPEATS = int(os.environ.get("SCHED_BENCH_REPEATS", "5"))
+
+
+def _auto_bytes(n_nodes: int) -> bytes:
+    schedule = SchedulerProblem(
+        n_nodes=n_nodes, flows=sweep_flows("seizure"), solver="auto",
+        seed=SEED,
+    ).solve()
+    return np.array(
+        [a.aggregate_electrodes for a in schedule.allocations]
+    ).tobytes()
+
+
+def test_scheduler_portfolio_gates(report):
+    telemetry = Telemetry()
+    node_counts = tuple(
+        n for n in SWEEP_NODE_COUNTS if n <= MAX_NODES
+    ) or (MAX_NODES,)
+    points = gap_sweep(node_counts=node_counts, seed=SEED, repeats=REPEATS,
+                       telemetry=telemetry)
+    repair = repair_speedup(n_nodes=min(64, max(node_counts)), seed=SEED,
+                            repeats=REPEATS, telemetry=telemetry)
+    deterministic = _auto_bytes(64) == _auto_bytes(64) == _auto_bytes(64)
+
+    doc = {
+        "workload": (
+            "gap x solve-time sweep over the sweep workloads "
+            f"(seed {SEED}, node counts {list(node_counts)}, best of "
+            f"{REPEATS} timed runs per cell)"
+        ),
+        "units": "wall-clock milliseconds; gap = 1 - objective/ILP-optimum",
+        "gates": {
+            "max_gap": GATE_MAX_GAP,
+            "min_speedup_at_floor": GATE_MIN_SPEEDUP,
+            "node_floor": GATE_NODE_FLOOR,
+            "repair_min_speedup": REPAIR_GATE_MIN_SPEEDUP,
+        },
+        "points": [
+            {
+                "workload": p.workload,
+                "n_nodes": p.n_nodes,
+                "solver": p.solver,
+                "gap": p.gap,
+                "solve_ms": p.solve_ms,
+                "ilp_ms": p.ilp_ms,
+                "speedup": p.speedup,
+                "feasible": p.feasible,
+            }
+            for p in points
+        ],
+        "repair": {
+            "n_nodes": repair.n_nodes,
+            "repair_ms": repair.repair_ms,
+            "ilp_ms": repair.ilp_ms,
+            "speedup": repair.speedup,
+            "feasible": repair.feasible,
+        },
+        "determinism": "auto x3 at 64 nodes byte-identical"
+                       if deterministic else "NOT DETERMINISTIC",
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    lines = [
+        f"{p.workload:10s} n={p.n_nodes:5d} {p.solver:>7s} "
+        f"gap {p.gap:6.2%}  {p.solve_ms:7.3f} ms vs {p.ilp_ms:7.3f} ms "
+        f"({p.speedup:5.1f}x)"
+        for p in points
+    ]
+    lines.append(
+        f"repair at {repair.n_nodes} nodes: {repair.repair_ms:.3f} ms vs "
+        f"{repair.ilp_ms:.3f} ms ILP ({repair.speedup:.1f}x)"
+    )
+    lines.append(f"written to {BENCH_PATH.name}")
+    report("Scheduler portfolio vs exact ILP", lines)
+
+    # Every cell must be feasible and within the gap gate.
+    assert all(p.feasible for p in points), points
+    assert max(p.gap for p in points) <= GATE_MAX_GAP, points
+    # The deployed policies must clear the speedup gate at fleet scale.
+    gated = [p for p in points
+             if p.solver in ("auto", "flow") and p.n_nodes >= GATE_NODE_FLOOR]
+    if max(node_counts) >= GATE_NODE_FLOOR:
+        assert gated, node_counts
+    for p in gated:
+        assert p.speedup >= GATE_MIN_SPEEDUP, p
+    # Incremental repair must beat the from-scratch LP by 5x.
+    assert repair.feasible, repair
+    assert repair.speedup >= REPAIR_GATE_MIN_SPEEDUP, repair
+    # Equal seeds, equal bytes.
+    assert deterministic

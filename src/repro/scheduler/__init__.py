@@ -6,8 +6,18 @@ from repro.scheduler.analytical import (
     analytic_throughput_mbps,
 )
 from repro.scheduler.codegen import emit_all_nodes, emit_config_program
+from repro.scheduler.constraints import (
+    NETWORK_UTILISATION_CAP,
+    ConstraintSystem,
+    FlowRow,
+    build_constraints,
+)
 from repro.scheduler.dataflow import OPERATOR_PES, DataflowGraph, Operator
+from repro.scheduler.flowsched import MinCostFlowScheduler
+from repro.scheduler.heuristics import solve_greedy
 from repro.scheduler.ilp import (
+    AUTO_ILP_MAX_NODES,
+    SOLVERS,
     Flow,
     FlowAllocation,
     Schedule,
@@ -35,9 +45,17 @@ from repro.scheduler.schedule import (
 )
 
 __all__ = [
+    "AUTO_ILP_MAX_NODES",
+    "ConstraintSystem",
+    "FlowRow",
+    "MinCostFlowScheduler",
+    "NETWORK_UTILISATION_CAP",
+    "SOLVERS",
     "ThroughputBreakdown",
     "analytic_electrodes",
     "analytic_throughput_mbps",
+    "build_constraints",
+    "solve_greedy",
     "emit_all_nodes",
     "emit_config_program",
     "OPERATOR_PES",

@@ -1,0 +1,515 @@
+"""Exact constraint rows shared by every solver in the portfolio.
+
+The LP, the greedy water-filler, and the min-cost-flow scheduler must
+all agree on what *feasible* means, or a fast heuristic could return a
+schedule the fleet cannot actually run.  This module builds the one
+authoritative :class:`ConstraintSystem` for a scheduling instance — the
+per-flow electrode caps, the exact (quadratic) power row, the per-flow
+latency rows, the shared-medium utilisation row, and the NVM-bandwidth
+row — and owns:
+
+* **post-hoc verification** (:meth:`ConstraintSystem.verify`): every
+  heuristic solution is checked against these rows before it is
+  returned, so the portfolio can never silently ship an infeasible
+  schedule;
+* **schedule materialisation** (:meth:`ConstraintSystem.schedule`): the
+  single place allocations and the reported ``network_utilisation`` are
+  derived, so the report is the utilisation constraint's left-hand side
+  evaluated at the solution — a feasible schedule can never report
+  utilisation above :data:`NETWORK_UTILISATION_CAP` (flows whose cap
+  collapsed to zero burst nothing and book no airtime);
+* **explicit medium-saturation degrade**: when the fixed per-burst
+  airtime alone exceeds the utilisation cap, the medium-sharing flows
+  cannot run at this node count.  Instead of silently clamping the
+  utilisation right-hand side to zero, the builder zeroes those flows'
+  caps, books ``scheduler.medium_saturated``, and records the degrade
+  on the system (:attr:`ConstraintSystem.medium_saturated`) so callers
+  can tell "the optimiser chose zero" from "the medium was full".
+
+Communication-pattern semantics mirror the LP exactly: ``all_one``
+aggregations pipeline across periods and therefore appear in neither
+the latency rows nor the utilisation row (their airtime is still
+reported per allocation); a medium-sharing flow with a positive cap
+contributes its fixed burst airtime to utilisation even at zero
+allocated electrodes, because the constraint charges it conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.network.packet import PACKET_OVERHEAD_BITS
+from repro.network.tdma import TDMAConfig
+from repro.scheduler.model import (
+    BASE_STATIC_MW,
+    MI_KF_NVM_BYTES_PER_E2,
+    PAIR_NORM,
+    TaskModel,
+)
+from repro.storage.nvm import NVMDevice
+from repro.telemetry import NULL_TELEMETRY, TelemetryLike
+
+if TYPE_CHECKING:
+    from repro.scheduler.ilp import Flow, Schedule
+
+#: Medium-utilisation cap: the TDMA schedule cannot fill more than this
+#: fraction of wall-clock time (guard slots, resync).
+NETWORK_UTILISATION_CAP = 0.95
+
+#: Feasibility slack the verifier grants (LP/solver roundoff, not model
+#: error): absolute on electrode counts, relative on budget rows.
+VERIFY_TOL = 1e-6
+
+
+def comm_multiplier(task: TaskModel, n_nodes: int) -> float:
+    """How many bursts per period the pattern puts on the shared medium."""
+    if task.comm == "none":
+        return 0.0
+    if task.comm == "one_all":
+        return 1.0
+    if task.comm == "all_all":
+        return float(n_nodes)
+    return float(max(0, n_nodes - 1))  # all_one
+
+
+@dataclass(frozen=True)
+class FlowRow:
+    """One flow's exact coefficients in every constraint it appears in."""
+
+    flow: "Flow"
+    index: int
+    #: final upper bound on the decision variable (electrodes; total for
+    #: centralised flows, per-node otherwise)
+    cap: float
+    #: the cap before network-latency zeroing — the LP's breakpoint grid
+    #: for quadratic flows is built from this (kept for bit-identity)
+    power_grid_cap: float
+    #: objective multiplier: aggregate electrodes per decision unit
+    count: float
+    #: fraction of the linear power cost the binding node pays
+    linear_share: float
+    #: bursts per period on the shared medium
+    mult: float
+    #: airtime per electrode per burst (ms)
+    airtime_slope_ms: float
+    #: airtime per burst independent of electrodes (ms)
+    airtime_fixed_ms: float
+    #: RHS of this flow's latency row (ms); None = no latency row
+    latency_rhs_ms: float | None
+    #: whether the flow occupies the shared-medium utilisation budget
+    #: (one_all / all_all patterns; all_one pipelines and is exempt)
+    shares_medium: bool
+    #: electrode coefficient in the utilisation row
+    #: (``mult * slope / period``; zero when the flow cannot run)
+    util_slope_per_ms: float
+    #: NVM bytes per electrode per ms
+    nvm_per_ms: float
+
+    @property
+    def weight(self) -> float:
+        return self.flow.weight
+
+    @property
+    def task(self) -> TaskModel:
+        return self.flow.task
+
+    @property
+    def objective_density(self) -> float:
+        """Objective gain per allocated electrode unit."""
+        return self.flow.weight * self.count
+
+    def dynamic_mw(self, electrodes: float) -> float:
+        """Exact dynamic power on the binding node (mW)."""
+        task = self.task
+        linear = task.dyn_uw_per_electrode * self.linear_share * electrodes
+        quad = task.pairwise_uw * electrodes * electrodes / PAIR_NORM
+        return (linear + quad) / 1e3
+
+    def electrodes_for_power(self, dyn_budget_mw: float) -> float:
+        """Invert :meth:`dynamic_mw` (closed form, quadratic)."""
+        if dyn_budget_mw <= 0:
+            return 0.0
+        budget_uw = dyn_budget_mw * 1e3
+        a = self.task.pairwise_uw / PAIR_NORM
+        b = self.task.dyn_uw_per_electrode * self.linear_share
+        if a == 0:
+            return budget_uw / b if b > 0 else float("inf")
+        return (-b + (b * b + 4 * a * budget_uw) ** 0.5) / (2 * a)
+
+    def airtime_ms(self, electrodes: float) -> float:
+        """Airtime per period, as reported on the allocation.
+
+        A flow whose cap collapsed to zero cannot burst at all — it
+        books no airtime (this is the reporting bugfix: zero-cap flows
+        used to contribute ``mult * fixed`` phantom airtime).
+        """
+        if self.mult == 0.0 or self.cap <= 0.0:
+            return 0.0
+        return self.mult * (
+            self.airtime_slope_ms * electrodes + self.airtime_fixed_ms
+        )
+
+    def utilisation(self, electrodes: float) -> float:
+        """This flow's share of the medium duty cycle (constraint LHS)."""
+        if not self.shares_medium or self.cap <= 0.0:
+            return 0.0
+        return self.airtime_ms(electrodes) / self.task.period_ms
+
+    @property
+    def latency_cap(self) -> float:
+        """Max electrodes the latency row admits (inf = no row)."""
+        if self.latency_rhs_ms is None:
+            return float("inf")
+        denom = self.mult * self.airtime_slope_ms
+        if denom <= 0:
+            return float("inf")
+        return self.latency_rhs_ms / denom
+
+
+@dataclass(frozen=True)
+class ConstraintSystem:
+    """The exact feasible region of one scheduling instance."""
+
+    n_nodes: int
+    power_budget_mw: float
+    static_mw: float
+    dyn_budget_mw: float
+    rows: tuple[FlowRow, ...]
+    utilisation_cap: float
+    #: fixed burst airtime already committed by capped-in sharing flows
+    fixed_util: float
+    #: electrode-dependent utilisation budget remaining after fixed_util
+    util_rhs: float
+    #: True when fixed bursts alone exceeded the cap and the sharing
+    #: flows were explicitly degraded to zero (counted, never silent)
+    medium_saturated: bool
+    nvm_budget_bytes_per_ms: float
+
+    # -- cached coefficient arrays (hot-path fuel for the heuristics) -------------
+
+    @cached_property
+    def densities(self) -> np.ndarray:
+        """Objective density per row (``weight * count``)."""
+        return np.array([row.objective_density for row in self.rows])
+
+    @cached_property
+    def lin_mw(self) -> np.ndarray:
+        """Linear dynamic power per electrode per row (mW)."""
+        return np.array(
+            [
+                row.task.dyn_uw_per_electrode * row.linear_share / 1e3
+                for row in self.rows
+            ]
+        )
+
+    @cached_property
+    def quad_mw(self) -> np.ndarray:
+        """Quadratic dynamic power coefficient per row (mW per e^2)."""
+        return np.array(
+            [
+                row.task.pairwise_uw / (1e3 * PAIR_NORM)
+                for row in self.rows
+            ]
+        )
+
+    @cached_property
+    def util_slopes(self) -> np.ndarray:
+        return np.array([row.util_slope_per_ms for row in self.rows])
+
+    @cached_property
+    def nvm_rates(self) -> np.ndarray:
+        return np.array([row.nvm_per_ms for row in self.rows])
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def objective(self, electrodes: Sequence[float]) -> float:
+        """Priority-weighted aggregate electrodes (the LP objective)."""
+        return float(
+            sum(
+                row.objective_density * e
+                for row, e in zip(self.rows, electrodes)
+            )
+        )
+
+    def node_power_mw(self, electrodes: Sequence[float]) -> float:
+        """Exact binding-node power (static + quadratic dynamic)."""
+        return self.static_mw + sum(
+            row.dynamic_mw(e) for row, e in zip(self.rows, electrodes)
+        )
+
+    def utilisation(self, electrodes: Sequence[float]) -> float:
+        """Shared-medium duty cycle: the utilisation constraint's LHS."""
+        return sum(
+            row.utilisation(e) for row, e in zip(self.rows, electrodes)
+        )
+
+    def nvm_rate(self, electrodes: Sequence[float]) -> float:
+        """NVM traffic (bytes/ms) of the electrode-linear flows."""
+        return sum(
+            row.nvm_per_ms * e for row, e in zip(self.rows, electrodes)
+        )
+
+    # -- verification -------------------------------------------------------------
+
+    def verify(
+        self, electrodes: Sequence[float], tol: float = VERIFY_TOL
+    ) -> tuple[str, ...]:
+        """Check a solution against every exact row; return violations.
+
+        An empty tuple means feasible.  Every heuristic in the portfolio
+        calls this before returning, and the property tests call it on
+        the ILP's own output.
+        """
+        violations: list[str] = []
+        for row, e in zip(self.rows, electrodes):
+            slack = tol * max(1.0, row.cap)
+            if e < -tol:
+                violations.append(
+                    f"{row.task.name}: negative allocation {e:.6g}"
+                )
+            if e > row.cap + slack:
+                violations.append(
+                    f"{row.task.name}: {e:.6g} electrodes over cap "
+                    f"{row.cap:.6g}"
+                )
+            if row.latency_rhs_ms is not None:
+                lhs = row.mult * row.airtime_slope_ms * e
+                if lhs > row.latency_rhs_ms * (1 + tol) + tol:
+                    violations.append(
+                        f"{row.task.name}: airtime {lhs:.6g} ms over "
+                        f"latency budget {row.latency_rhs_ms:.6g} ms"
+                    )
+        power = self.node_power_mw(electrodes)
+        if power > self.power_budget_mw * (1 + tol) + tol:
+            violations.append(
+                f"node power {power:.6g} mW over budget "
+                f"{self.power_budget_mw:.6g} mW"
+            )
+        util = self.utilisation(electrodes)
+        if util > self.utilisation_cap * (1 + tol) + tol:
+            violations.append(
+                f"medium utilisation {util:.6g} over cap "
+                f"{self.utilisation_cap:.6g}"
+            )
+        nvm = self.nvm_rate(electrodes)
+        if nvm > self.nvm_budget_bytes_per_ms * (1 + tol) + tol:
+            violations.append(
+                f"NVM traffic {nvm:.6g} B/ms over bandwidth "
+                f"{self.nvm_budget_bytes_per_ms:.6g} B/ms"
+            )
+        return tuple(violations)
+
+    # -- materialisation ----------------------------------------------------------
+
+    def schedule(self, electrodes: Sequence[float]) -> "Schedule":
+        """Materialise a :class:`~repro.scheduler.ilp.Schedule`.
+
+        The one shared reporting path: ``network_utilisation`` is the
+        utilisation constraint's LHS at this solution, so it is capped
+        by :data:`NETWORK_UTILISATION_CAP` whenever the solution is
+        feasible (``all_one`` aggregations pipeline and are exempt,
+        exactly as in the constraint).
+        """
+        from repro.scheduler.ilp import FlowAllocation, Schedule
+
+        allocations = []
+        node_power = self.static_mw
+        utilisation = 0.0
+        for row, e in zip(self.rows, electrodes):
+            e = float(e)
+            task = row.task
+            allocations.append(
+                FlowAllocation(
+                    flow=row.flow,
+                    electrodes_per_node=(
+                        e / self.n_nodes if task.centralised else e
+                    ),
+                    aggregate_electrodes=e * row.count,
+                    power_mw_per_node=task.dynamic_mw(e),
+                    airtime_ms_per_period=row.airtime_ms(e),
+                )
+            )
+            node_power += task.dynamic_mw(e)
+            utilisation += row.utilisation(e)
+        return Schedule(
+            allocations=allocations,
+            n_nodes=self.n_nodes,
+            power_budget_mw=self.power_budget_mw,
+            node_power_mw=node_power,
+            network_utilisation=utilisation,
+        )
+
+
+def build_constraints(
+    n_nodes: int,
+    flows: Sequence["Flow"],
+    power_budget_mw: float,
+    tdma: TDMAConfig,
+    round_overhead_ms: float = 0.0,
+    unbounded_cap: float = 4096.0,
+    telemetry: TelemetryLike = NULL_TELEMETRY,
+) -> ConstraintSystem:
+    """Build the exact constraint rows for one scheduling instance.
+
+    Raises:
+        SchedulingError: when static power alone exceeds the budget —
+            no allocation can fix that.
+    """
+    static_mw = _static_mw(flows)
+    dyn_budget = power_budget_mw - static_mw
+    if dyn_budget <= 0:
+        raise SchedulingError(
+            f"static power {static_mw:.2f} mW exceeds the "
+            f"{power_budget_mw:.2f} mW budget"
+        )
+
+    rate_kbps_ms = tdma.radio.data_rate_mbps * 1e3  # bits per ms
+    bw_bytes_per_ms = NVMDevice.read_bandwidth_mbps() * 1e3 / 8
+
+    caps: list[float] = []
+    for flow in flows:
+        cap = (
+            flow.electrode_cap
+            if flow.electrode_cap is not None
+            else unbounded_cap
+        )
+        task = flow.task
+        if task.centralised:
+            budget_bytes = bw_bytes_per_ms * task.period_ms
+            central = float(np.sqrt(budget_bytes / MI_KF_NVM_BYTES_PER_E2))
+            cap = min(cap * n_nodes, central)
+        share = 1.0 / n_nodes if task.centralised else 1.0
+        cap = min(cap, _power_cap(task, dyn_budget, share))
+        caps.append(max(cap, 0.0))
+    power_grid_caps = list(caps)
+
+    mults: list[float] = []
+    slopes: list[float] = []
+    fixeds: list[float] = []
+    latency_rhs: list[float | None] = []
+    util_slopes: list[float] = []
+    for i, flow in enumerate(flows):
+        task = flow.task
+        mult = comm_multiplier(task, n_nodes)
+        mults.append(mult)
+        if mult == 0.0:
+            slopes.append(0.0)
+            fixeds.append(0.0)
+            latency_rhs.append(None)
+            util_slopes.append(0.0)
+            continue
+        slope = 8.0 * task.wire_bytes_per_electrode / rate_kbps_ms
+        fixed = (
+            (PACKET_OVERHEAD_BITS + 8.0 * task.wire_bytes_fixed)
+            / rate_kbps_ms
+            + tdma.guard_ms
+            + round_overhead_ms
+        )
+        slopes.append(slope)
+        fixeds.append(fixed)
+        if task.comm == "all_one":
+            # all-to-one aggregations pipeline across periods: no hard
+            # latency row, no utilisation share
+            latency_rhs.append(None)
+            util_slopes.append(0.0)
+            continue
+        rhs = task.net_budget_ms - mult * fixed
+        if rhs <= 0:
+            # even an empty burst from every sender overruns the budget:
+            # the flow cannot run at this node count
+            caps[i] = 0.0
+            latency_rhs.append(None)
+            util_slopes.append(0.0)
+        else:
+            latency_rhs.append(rhs if slope > 0 else None)
+            util_slopes.append(mult * slope / task.period_ms)
+
+    def _fixed_util() -> float:
+        return sum(
+            mults[i] * fixeds[i] / flow.task.period_ms
+            for i, flow in enumerate(flows)
+            if caps[i] > 0 and flow.task.comm not in ("none", "all_one")
+        )
+
+    fixed_util = _fixed_util()
+    medium_saturated = False
+    if fixed_util >= NETWORK_UTILISATION_CAP:
+        # The fixed bursts alone fill the medium: no electrode budget is
+        # left for any sharing flow.  Degrade explicitly — zero their
+        # caps and count the event — instead of silently clamping the
+        # utilisation RHS to zero and letting the report disagree with
+        # the constraint.
+        medium_saturated = True
+        telemetry.inc("scheduler.medium_saturated")
+        for i, flow in enumerate(flows):
+            if flow.task.comm not in ("none", "all_one"):
+                caps[i] = 0.0
+        fixed_util = 0.0
+
+    rows = tuple(
+        FlowRow(
+            flow=flow,
+            index=i,
+            cap=caps[i],
+            power_grid_cap=power_grid_caps[i],
+            count=1.0 if flow.task.centralised else float(n_nodes),
+            linear_share=1.0 / n_nodes if flow.task.centralised else 1.0,
+            mult=mults[i],
+            airtime_slope_ms=slopes[i],
+            airtime_fixed_ms=fixeds[i],
+            latency_rhs_ms=latency_rhs[i],
+            shares_medium=flow.task.comm in ("one_all", "all_all"),
+            util_slope_per_ms=util_slopes[i],
+            nvm_per_ms=(
+                flow.task.nvm_bytes_per_electrode_period
+                / flow.task.period_ms
+            ),
+        )
+        for i, flow in enumerate(flows)
+    )
+    return ConstraintSystem(
+        n_nodes=n_nodes,
+        power_budget_mw=power_budget_mw,
+        static_mw=static_mw,
+        dyn_budget_mw=dyn_budget,
+        rows=rows,
+        utilisation_cap=NETWORK_UTILISATION_CAP,
+        fixed_util=fixed_util,
+        util_rhs=max(NETWORK_UTILISATION_CAP - fixed_util, 0.0),
+        medium_saturated=medium_saturated,
+        nvm_budget_bytes_per_ms=bw_bytes_per_ms,
+    )
+
+
+def _static_mw(flows: Sequence["Flow"]) -> float:
+    """Static power of the union of powered PEs plus baseline."""
+    from repro.hardware.catalog import get_pe
+    from repro.storage.nvm import LEAKAGE_MW
+
+    pe_union: set[str] = set()
+    uses_nvm = False
+    for flow in flows:
+        pe_union.update(flow.task.pe_names)
+        uses_nvm = uses_nvm or flow.task.uses_nvm
+    static = sum(get_pe(name).static_uw for name in pe_union) / 1e3
+    static += BASE_STATIC_MW
+    if uses_nvm:
+        static += LEAKAGE_MW
+    return static
+
+
+def _power_cap(task: TaskModel, dyn_budget_mw: float, share: float) -> float:
+    """Max electrodes the binding node's dynamic budget can pay for."""
+    if dyn_budget_mw <= 0:
+        return 0.0
+    budget_uw = dyn_budget_mw * 1e3
+    a = task.pairwise_uw / PAIR_NORM
+    b = task.dyn_uw_per_electrode * share
+    if a == 0:
+        return budget_uw / b if b > 0 else float("inf")
+    return (-b + (b * b + 4 * a * budget_uw) ** 0.5) / (2 * a)

@@ -1,4 +1,4 @@
-"""The ILP scheduler: optimal electrode allocation across flows.
+"""The scheduler: optimal and heuristic electrode allocation across flows.
 
 Mirrors the paper's §3.5 formulation: each application stage is a *flow*;
 the objective maximises the priority-weighted number of electrode signals
@@ -6,12 +6,26 @@ processed per flow, subject to per-node power, shared-TDMA network, and
 NVM-bandwidth constraints.  SCALO's deterministic components make every
 coefficient exact.
 
-Quadratic (pairwise) power terms are handled with the lambda-formulation
-of piecewise-linear convexification: because the power curve is convex and
-appears on the small side of a "<= budget" constraint, the LP relaxation
-is exact at breakpoints and conservative between them — no integer
-variables needed.  The solver is HiGHS via :func:`scipy.optimize.linprog`
-(the paper's artifact uses GLPK; same problem, different backend).
+The exact constraint rows live in :mod:`repro.scheduler.constraints`; the
+LP here is one *solver* in a portfolio (see :attr:`SchedulerProblem.solver`):
+
+* ``"ilp"`` — the exact LP below (HiGHS via :func:`scipy.optimize.linprog`).
+  Quadratic (pairwise) power terms are handled with the lambda-formulation
+  of piecewise-linear convexification: because the power curve is convex
+  and appears on the small side of a "<= budget" constraint, the LP
+  relaxation is exact at breakpoints and conservative between them — no
+  integer variables needed.  (The paper's artifact uses GLPK; same
+  problem, different backend.)
+* ``"greedy"`` — seeded water-filling over the same rows
+  (:mod:`repro.scheduler.heuristics`).
+* ``"flow"`` — min-cost-flow with an Octopus-style cost model supporting
+  incremental repair (:mod:`repro.scheduler.flowsched`).
+* ``"auto"`` — the LP at small node counts, the first verified heuristic
+  (greedy, then flow) at fleet scale, with an LP fallback if no
+  heuristic verifies.
+
+Every heuristic solution is post-hoc verified against the exact rows
+(:meth:`ConstraintSystem.verify`) before it is returned.
 """
 
 from __future__ import annotations
@@ -22,24 +36,37 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.errors import SchedulingError
-from repro.network.packet import PACKET_OVERHEAD_BITS
 from repro.network.tdma import TDMAConfig
-from repro.scheduler.model import (
-    BASE_STATIC_MW,
-    MI_KF_NVM_BYTES_PER_E2,
-    PAIR_NORM,
-    TaskModel,
+from repro.scheduler.constraints import (
+    NETWORK_UTILISATION_CAP,
+    ConstraintSystem,
+    build_constraints,
 )
-from repro.storage.nvm import NVMDevice
+from repro.scheduler.model import PAIR_NORM, TaskModel
 from repro.telemetry import NULL_TELEMETRY, TelemetryLike
 from repro.units import NODE_POWER_CAP_MW, electrodes_to_mbps
+
+__all__ = [
+    "Flow",
+    "FlowAllocation",
+    "Schedule",
+    "SchedulerProblem",
+    "max_throughput_mbps",
+    "NETWORK_UTILISATION_CAP",
+    "SOLVERS",
+    "AUTO_ILP_MAX_NODES",
+]
 
 #: Breakpoints used to convexify quadratic power terms.
 N_BREAKPOINTS = 33
 
-#: Medium-utilisation cap: the TDMA schedule cannot fill more than this
-#: fraction of wall-clock time (guard slots, resync).
-NETWORK_UTILISATION_CAP = 0.95
+#: Valid values of :attr:`SchedulerProblem.solver`.
+SOLVERS = ("ilp", "greedy", "flow", "auto")
+
+#: Below this node count ``solver="auto"`` keeps the exact LP: the LP's
+#: size is independent of the fleet, so at small scale the ~ms solve is
+#: cheap and optimality is free.  At and above it, the heuristics win.
+AUTO_ILP_MAX_NODES = 32
 
 
 @dataclass(frozen=True)
@@ -70,7 +97,15 @@ class FlowAllocation:
 
 @dataclass
 class Schedule:
-    """A complete solution."""
+    """A complete solution.
+
+    ``network_utilisation`` is the shared-medium constraint's left-hand
+    side at this solution — it counts medium-sharing flows (``one_all`` /
+    ``all_all``) that are able to run; ``all_one`` aggregations pipeline
+    across periods and are exempt, and flows whose electrode cap
+    collapsed to zero burst nothing.  A feasible schedule therefore
+    always reports utilisation <= :data:`NETWORK_UTILISATION_CAP`.
+    """
 
     allocations: list[FlowAllocation]
     n_nodes: int
@@ -103,17 +138,6 @@ class Schedule:
         raise SchedulingError(f"no allocation for task {task_name!r}")
 
 
-def _comm_multiplier(task: TaskModel, n_nodes: int) -> float:
-    """How many bursts per period the pattern puts on the shared medium."""
-    if task.comm == "none":
-        return 0.0
-    if task.comm == "one_all":
-        return 1.0
-    if task.comm == "all_all":
-        return float(n_nodes)
-    return float(max(0, n_nodes - 1))  # all_one
-
-
 @dataclass
 class SchedulerProblem:
     """Build and solve one scheduling instance."""
@@ -126,8 +150,14 @@ class SchedulerProblem:
     round_overhead_ms: float = 0.0
     #: hard upper bound used when a flow has no electrode cap
     unbounded_cap: float = 4096.0
-    #: observability handle: books ``scheduler.solves`` and the
-    #: wall-clock ``scheduler.ilp_solve_ms`` histogram around the LP
+    #: which portfolio member solves this instance (see :data:`SOLVERS`)
+    solver: str = "ilp"
+    #: seed for the heuristics' randomised candidate orderings — part of
+    #: the repo-wide byte-identical-per-seed determinism contract
+    seed: int = 0
+    #: observability handle: books ``scheduler.solves`` plus the
+    #: wall-clock ``scheduler.ilp_solve_ms`` / ``scheduler.heuristic_solve_ms``
+    #: histograms around the chosen solver
     telemetry: TelemetryLike = field(default=NULL_TELEMETRY, repr=False)
 
     def __post_init__(self) -> None:
@@ -137,55 +167,24 @@ class SchedulerProblem:
             raise SchedulingError("need at least one flow")
         if self.power_budget_mw <= 0:
             raise SchedulingError("power budget must be positive")
+        if self.solver not in SOLVERS:
+            raise SchedulingError(
+                f"unknown solver {self.solver!r}; expected one of {SOLVERS}"
+            )
 
-    # -- coefficient helpers -----------------------------------------------------
+    # -- constraint rows ----------------------------------------------------------
 
-    def _airtime_slope_fixed(self, task: TaskModel) -> tuple[float, float]:
-        """Airtime per period of one burst: (ms per electrode, fixed ms)."""
-        if task.comm == "none":
-            return 0.0, 0.0
-        rate_kbps_ms = self.tdma.radio.data_rate_mbps * 1e3  # bits per ms
-        slope = 8.0 * task.wire_bytes_per_electrode / rate_kbps_ms
-        fixed = (
-            (PACKET_OVERHEAD_BITS + 8.0 * task.wire_bytes_fixed) / rate_kbps_ms
-            + self.tdma.guard_ms
-            + self.round_overhead_ms
+    def constraints(self) -> ConstraintSystem:
+        """The exact feasible region every portfolio member solves."""
+        return build_constraints(
+            n_nodes=self.n_nodes,
+            flows=self.flows,
+            power_budget_mw=self.power_budget_mw,
+            tdma=self.tdma,
+            round_overhead_ms=self.round_overhead_ms,
+            unbounded_cap=self.unbounded_cap,
+            telemetry=self.telemetry,
         )
-        return slope, fixed
-
-    def _static_mw(self) -> float:
-        """Static power of the union of powered PEs plus baseline."""
-        pe_union: set[str] = set()
-        uses_nvm = False
-        for flow in self.flows:
-            pe_union.update(flow.task.pe_names)
-            uses_nvm = uses_nvm or flow.task.uses_nvm
-        from repro.hardware.catalog import get_pe
-        from repro.storage.nvm import LEAKAGE_MW
-
-        static = sum(get_pe(name).static_uw for name in pe_union) / 1e3
-        static += BASE_STATIC_MW
-        if uses_nvm:
-            static += LEAKAGE_MW
-        return static
-
-    def _power_cap(self, task: TaskModel, dyn_budget_mw: float) -> float:
-        """Max electrodes the binding node's dynamic budget can pay for."""
-        if dyn_budget_mw <= 0:
-            return 0.0
-        budget_uw = dyn_budget_mw * 1e3
-        share = 1.0 / self.n_nodes if task.centralised else 1.0
-        a = task.pairwise_uw / PAIR_NORM
-        b = task.dyn_uw_per_electrode * share
-        if a == 0:
-            return budget_uw / b if b > 0 else float("inf")
-        return (-b + (b * b + 4 * a * budget_uw) ** 0.5) / (2 * a)
-
-    def _centralised_cap(self, task: TaskModel) -> float:
-        """Total-electrode cap of a centralised flow from NVM bandwidth."""
-        bw_bytes_per_ms = NVMDevice.read_bandwidth_mbps() * 1e3 / 8
-        budget_bytes = bw_bytes_per_ms * task.period_ms
-        return float(np.sqrt(budget_bytes / MI_KF_NVM_BYTES_PER_E2))
 
     # -- solve --------------------------------------------------------------------
 
@@ -194,30 +193,96 @@ class SchedulerProblem:
 
         Raises:
             SchedulingError: when even zero electrodes violate a
-                constraint (static power over budget) or the LP fails.
+                constraint (static power over budget), the LP fails, or
+                an explicitly requested heuristic produces a solution
+                that fails post-hoc verification.
         """
-        static_mw = self._static_mw()
-        dyn_budget = self.power_budget_mw - static_mw
-        if dyn_budget <= 0:
-            raise SchedulingError(
-                f"static power {static_mw:.2f} mW exceeds the "
-                f"{self.power_budget_mw:.2f} mW budget"
+        cs = self.constraints()
+        tel = self.telemetry
+
+        solver = self.solver
+        if solver == "auto":
+            solver = (
+                "ilp" if self.n_nodes < AUTO_ILP_MAX_NODES else "portfolio"
             )
 
+        if solver == "ilp":
+            electrodes = self._solve_ilp(cs)
+        elif solver == "portfolio":
+            electrodes = self._solve_portfolio(cs)
+        else:
+            electrodes = self._solve_heuristic(cs, solver)
+            violations = cs.verify(electrodes)
+            if violations:
+                tel.inc("scheduler.verify_failures")
+                raise SchedulingError(
+                    f"{solver} solution failed verification: "
+                    + "; ".join(violations)
+                )
+
+        tel.inc("scheduler.solves")
+        schedule = cs.schedule(electrodes)
+        if tel.enabled:
+            tel.set_gauge(
+                "scheduler.node_power_mw",
+                schedule.node_power_mw,
+                nodes=self.n_nodes,
+            )
+            tel.set_gauge(
+                "scheduler.network_utilisation",
+                schedule.network_utilisation,
+                nodes=self.n_nodes,
+            )
+            for alloc in schedule.allocations:
+                tel.set_gauge(
+                    "scheduler.electrodes_per_node",
+                    alloc.electrodes_per_node,
+                    flow=alloc.flow.task.name,
+                    nodes=self.n_nodes,
+                )
+        return schedule
+
+    def _solve_heuristic(
+        self, cs: ConstraintSystem, solver: str
+    ) -> np.ndarray:
+        """Run one heuristic under the heuristic wall-clock histogram."""
+        from repro.scheduler.flowsched import MinCostFlowScheduler
+        from repro.scheduler.heuristics import solve_greedy
+
+        tel = self.telemetry
+        with tel.time("scheduler.heuristic_solve_ms"), tel.span(
+            f"{solver}-solve", n_nodes=self.n_nodes, n_flows=len(self.flows)
+        ):
+            if solver == "greedy":
+                return solve_greedy(cs, seed=self.seed)
+            return MinCostFlowScheduler(cs, seed=self.seed).solve()
+
+    def _solve_portfolio(self, cs: ConstraintSystem) -> np.ndarray:
+        """``auto`` at fleet scale: first verified heuristic wins.
+
+        The min-cost-flow solver goes first (sub-2 % gap on the paper's
+        workloads at the least wall-clock of the portfolio); greedy
+        water-filling is the second line, and the exact LP is the final
+        fallback so an infeasible schedule can never ship.
+        """
+        tel = self.telemetry
+        for name in ("flow", "greedy"):
+            electrodes = self._solve_heuristic(cs, name)
+            if not cs.verify(electrodes):
+                return electrodes
+            tel.inc("scheduler.verify_failures")
+        tel.inc("scheduler.auto_ilp_fallbacks")
+        return self._solve_ilp(cs)
+
+    def _solve_ilp(self, cs: ConstraintSystem) -> np.ndarray:
+        """The exact LP over the shared constraint rows."""
         n_flows = len(self.flows)
-        caps: list[float] = []
-        for flow in self.flows:
-            cap = flow.electrode_cap if flow.electrode_cap is not None else self.unbounded_cap
-            task = flow.task
-            if task.centralised:
-                cap = min(cap * self.n_nodes, self._centralised_cap(task))
-            # never more than the whole dynamic budget can pay for; the
-            # sensing (linear) share of a centralised flow spreads over N
-            cap = min(cap, self._power_cap(task, dyn_budget))
-            caps.append(max(cap, 0.0))
+        caps = [row.cap for row in cs.rows]
 
         # variable layout: [e_0..e_{F-1}] + lambda blocks for quadratic flows
-        quad_flows = [i for i, f in enumerate(self.flows) if f.task.pairwise_uw > 0]
+        quad_flows = [
+            i for i, f in enumerate(self.flows) if f.task.pairwise_uw > 0
+        ]
         lambda_offset: dict[int, int] = {}
         n_vars = n_flows
         for i in quad_flows:
@@ -226,9 +291,8 @@ class SchedulerProblem:
 
         # objective: maximise sum w_i * n_i * e_i  (linprog minimises)
         c = np.zeros(n_vars)
-        for i, flow in enumerate(self.flows):
-            count = 1.0 if flow.task.centralised else float(self.n_nodes)
-            c[i] = -flow.weight * count
+        for i, row in enumerate(cs.rows):
+            c[i] = -row.flow.weight * row.count
 
         a_ub: list[np.ndarray] = []
         b_ub: list[float] = []
@@ -238,16 +302,19 @@ class SchedulerProblem:
         # power: sum_i dyn_i(e_i) <= dyn_budget (per node; centralised
         # flows load the central node which is the binding one)
         power_row = np.zeros(n_vars)
-        for i, flow in enumerate(self.flows):
-            task = flow.task
+        for i, row in enumerate(cs.rows):
+            task = row.task
             # For a centralised flow the variable is the *total* electrode
             # count: sensing (linear) cost spreads over all nodes while the
             # quadratic compute lands on the central node — the binding
             # node pays linear/N + quadratic(E).
-            linear_share = 1.0 / self.n_nodes if task.centralised else 1.0
             if i in lambda_offset:
-                # e_i = sum lambda_j x_j ; power uses sum lambda_j g(x_j)
-                xs = np.linspace(0.0, max(caps[i], 1.0), N_BREAKPOINTS)
+                # e_i = sum lambda_j x_j ; power uses sum lambda_j g(x_j);
+                # the breakpoint grid spans the pre-network power cap so
+                # the convexification is identical across node counts
+                xs = np.linspace(
+                    0.0, max(row.power_grid_cap, 1.0), N_BREAKPOINTS
+                )
                 off = lambda_offset[i]
                 link = np.zeros(n_vars)
                 link[i] = 1.0
@@ -260,15 +327,17 @@ class SchedulerProblem:
                 b_eq.append(1.0)
                 power_row[off : off + N_BREAKPOINTS] += np.array(
                     [
-                        task.dyn_uw_per_electrode * x * linear_share / 1e3
+                        task.dyn_uw_per_electrode * x * row.linear_share / 1e3
                         + task.pairwise_uw * x * x / (1e3 * PAIR_NORM)
                         for x in xs
                     ]
                 )
             else:
-                power_row[i] += task.dyn_uw_per_electrode * linear_share / 1e3
+                power_row[i] += (
+                    task.dyn_uw_per_electrode * row.linear_share / 1e3
+                )
         a_ub.append(power_row)
-        b_ub.append(dyn_budget)
+        b_ub.append(cs.dyn_budget_mw)
 
         # network: per-flow latency budget + shared medium utilisation.
         # all-to-one aggregations pipeline across periods (the aggregator
@@ -276,45 +345,24 @@ class SchedulerProblem:
         # get a hard latency row — their rate hit shows up in the
         # application-level intents/second metric instead.
         util_row = np.zeros(n_vars)
-        for i, flow in enumerate(self.flows):
-            task = flow.task
-            mult = _comm_multiplier(task, self.n_nodes)
-            if mult == 0.0 or task.comm == "all_one":
-                continue
-            slope, fixed = self._airtime_slope_fixed(task)
-            latency_rhs = task.net_budget_ms - mult * fixed
-            if latency_rhs <= 0:
-                # even an empty burst from every sender overruns the
-                # budget: the flow cannot run at this node count
-                caps[i] = 0.0
-                continue
-            if slope > 0:
+        for i, row in enumerate(cs.rows):
+            if row.latency_rhs_ms is not None:
                 lat_row = np.zeros(n_vars)
-                lat_row[i] = mult * slope
+                lat_row[i] = row.mult * row.airtime_slope_ms
                 a_ub.append(lat_row)
-                b_ub.append(latency_rhs)
-            util_row[i] += mult * slope / task.period_ms
+                b_ub.append(row.latency_rhs_ms)
+            util_row[i] = row.util_slope_per_ms
         if np.any(util_row):
-            fixed_util = sum(
-                _comm_multiplier(f.task, self.n_nodes)
-                * self._airtime_slope_fixed(f.task)[1]
-                / f.task.period_ms
-                for i, f in enumerate(self.flows)
-                if caps[i] > 0 and f.task.comm not in ("none", "all_one")
-            )
             a_ub.append(util_row)
-            b_ub.append(max(NETWORK_UTILISATION_CAP - fixed_util, 0.0))
+            b_ub.append(cs.util_rhs)
 
         # NVM bandwidth per node (linear part)
-        bw_bytes_per_ms = NVMDevice.read_bandwidth_mbps() * 1e3 / 8
         nvm_row = np.zeros(n_vars)
-        for i, flow in enumerate(self.flows):
-            task = flow.task
-            per_ms = task.nvm_bytes_per_electrode_period / task.period_ms
-            nvm_row[i] += per_ms
+        for i, row in enumerate(cs.rows):
+            nvm_row[i] += row.nvm_per_ms
         if np.any(nvm_row):
             a_ub.append(nvm_row)
-            b_ub.append(bw_bytes_per_ms)
+            b_ub.append(cs.nvm_budget_bytes_per_ms)
 
         bounds = [(0.0, caps[i]) for i in range(n_flows)]
         bounds += [(0.0, 1.0)] * (n_vars - n_flows)
@@ -332,7 +380,6 @@ class SchedulerProblem:
                 bounds=bounds,
                 method="highs",
             )
-        tel.inc("scheduler.solves")
         if not result.success:
             tel.inc("scheduler.solve_failures")
             raise SchedulingError(f"LP failed: {result.message}")
@@ -341,53 +388,7 @@ class SchedulerProblem:
         # back as -1e-12 and propagate sign into every derived quantity
         # (negative electrodes, power, airtime).  Feasible solutions are
         # non-negative by construction, so clamp before deriving.
-        x = np.maximum(result.x, 0.0)
-
-        allocations = []
-        node_power = static_mw
-        utilisation = 0.0
-        for i, flow in enumerate(self.flows):
-            e = float(x[i])
-            task = flow.task
-            count = 1.0 if task.centralised else float(self.n_nodes)
-            slope, fixed = self._airtime_slope_fixed(task)
-            mult = _comm_multiplier(task, self.n_nodes)
-            airtime = mult * (slope * e + fixed) if mult else 0.0
-            allocations.append(
-                FlowAllocation(
-                    flow=flow,
-                    electrodes_per_node=e if not task.centralised else e / self.n_nodes,
-                    aggregate_electrodes=e * count,
-                    power_mw_per_node=task.dynamic_mw(e),
-                    airtime_ms_per_period=airtime,
-                )
-            )
-            node_power += task.dynamic_mw(e)
-            utilisation += airtime / task.period_ms if mult else 0.0
-
-        if tel.enabled:
-            tel.set_gauge(
-                "scheduler.node_power_mw", node_power, nodes=self.n_nodes
-            )
-            tel.set_gauge(
-                "scheduler.network_utilisation",
-                utilisation,
-                nodes=self.n_nodes,
-            )
-            for alloc in allocations:
-                tel.set_gauge(
-                    "scheduler.electrodes_per_node",
-                    alloc.electrodes_per_node,
-                    flow=alloc.flow.task.name,
-                    nodes=self.n_nodes,
-                )
-        return Schedule(
-            allocations=allocations,
-            n_nodes=self.n_nodes,
-            power_budget_mw=self.power_budget_mw,
-            node_power_mw=node_power,
-            network_utilisation=utilisation,
-        )
+        return np.maximum(result.x[:n_flows], 0.0)
 
 
 def max_throughput_mbps(
@@ -397,6 +398,7 @@ def max_throughput_mbps(
     electrode_cap: float | None = None,
     tdma: TDMAConfig | None = None,
     telemetry: TelemetryLike = NULL_TELEMETRY,
+    solver: str = "ilp",
 ) -> float:
     """Single-flow convenience: the paper's "maximum aggregate throughput"."""
     problem = SchedulerProblem(
@@ -404,6 +406,7 @@ def max_throughput_mbps(
         flows=[Flow(task, electrode_cap=electrode_cap)],
         power_budget_mw=power_budget_mw,
         tdma=tdma if tdma is not None else TDMAConfig(),
+        solver=solver,
         telemetry=telemetry,
     )
     return problem.solve().aggregate_mbps
